@@ -1,0 +1,65 @@
+// Command benchsuite regenerates the reproduction experiments E1–E9 (one
+// per quantitative claim of the paper — see DESIGN.md's per-experiment
+// index) and prints their result tables. EXPERIMENTS.md records the
+// expected shapes and a reference run's numbers.
+//
+// Usage:
+//
+//	benchsuite              # run everything at full scale
+//	benchsuite -quick       # smoke-test scale
+//	benchsuite -e E2,E5     # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"radiomis/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	var (
+		only  = fs.String("e", "", "comma-separated experiment IDs (default: all)")
+		quick = fs.Bool("quick", false, "smoke-test scale")
+		seed  = fs.Uint64("seed", 1, "suite seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	defs := experiments.All()
+	if *only != "" {
+		defs = defs[:0]
+		for _, id := range strings.Split(*only, ",") {
+			def, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			defs = append(defs, def)
+		}
+	}
+
+	for _, def := range defs {
+		start := time.Now()
+		rep, err := def.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", def.ID, err)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Print(rep)
+		fmt.Printf("(%s in %v)\n\n", def.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

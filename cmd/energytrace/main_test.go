@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunTimeline(t *testing.T) {
+	if err := run([]string{"-n", "8", "-graph", "cycle", "-algo", "cd", "-width", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNaive(t *testing.T) {
+	if err := run([]string{"-n", "8", "-graph", "star", "-algo", "naive-cd"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-algo", "nocd"}); err == nil {
+		t.Error("unsupported algo accepted")
+	}
+	if err := run([]string{"-graph", "bogus"}); err == nil {
+		t.Error("unknown graph accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if maxOf([]uint64{1, 5, 3}) != 5 {
+		t.Error("maxOf wrong")
+	}
+	if maxOf(nil) != 0 {
+		t.Error("maxOf(nil) wrong")
+	}
+	if avg([]uint64{2, 4}) != 3 {
+		t.Error("avg wrong")
+	}
+	if avg(nil) != 0 {
+		t.Error("avg(nil) wrong")
+	}
+}

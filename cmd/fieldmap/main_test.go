@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSVG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "field.svg")
+	if err := run([]string{"-n", "60", "-seed", "3", "-algo", "cd", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "</svg>", "circle", "line"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-n", "40", "-o", "/nonexistent-dir/x.svg", "-algo", "cd"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

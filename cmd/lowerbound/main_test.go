@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-n", "64", "-trials", "5", "-max-budget", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestNextBudget(t *testing.T) {
+	if nextBudget(3) != 4 {
+		t.Error("dense step wrong")
+	}
+	if nextBudget(8) != 16 {
+		t.Error("geometric step wrong")
+	}
+}

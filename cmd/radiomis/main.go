@@ -1,0 +1,102 @@
+// Command radiomis runs one of the paper's MIS algorithms on a generated
+// radio network and reports the outcome: validity, set size, worst/average
+// energy, and round count.
+//
+// Usage:
+//
+//	radiomis -algo cd -graph gnp -n 1024 -seed 7
+//	radiomis -algo nocd -graph unitdisk -n 256 -trials 5
+//	radiomis -algo cd -graph grid -n 400 -v      # per-node dump
+//
+// Algorithms: cd, beep, nocd, lowdegree, naive-cd, naive-nocd,
+// unknown-delta. Graphs: gnp, unitdisk, grid, tree, hypercube, clique,
+// cycle, star, lowerbound, prefattach.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "radiomis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("radiomis", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "cd", "algorithm: cd|beep|nocd|lowdegree|naive-cd|naive-nocd|unknown-delta")
+		family  = fs.String("graph", "gnp", "graph family (gnp, unitdisk, grid, tree, hypercube, clique, cycle, star, lowerbound, prefattach)")
+		n       = fs.Int("n", 256, "approximate number of nodes")
+		seed    = fs.Uint64("seed", 1, "random seed (graph and run are deterministic in it)")
+		trialsN = fs.Int("trials", 1, "number of runs over distinct seeds")
+		paper   = fs.Bool("paper-params", false, "use the paper's conservative constants (slow)")
+		verbose = fs.Bool("v", false, "print per-node status and energy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fam, err := graph.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	solve, err := solver(*algo)
+	if err != nil {
+		return err
+	}
+
+	for trial := 0; trial < *trialsN; trial++ {
+		trialSeed := rng.Mix(*seed, uint64(trial))
+		g := graph.Generate(fam, *n, rng.New(trialSeed))
+		p := mis.ParamsDefault(g.N(), g.MaxDegree())
+		if *paper {
+			p = mis.ParamsPaper(g.N(), g.MaxDegree())
+		}
+		res, err := solve(g, p, trialSeed)
+		if err != nil {
+			return err
+		}
+		validity := "VALID"
+		if err := res.Check(g); err != nil {
+			validity = fmt.Sprintf("INVALID (%v)", err)
+		}
+		fmt.Printf("trial %d: %s  algo=%s  |MIS|=%d  maxEnergy=%d  avgEnergy=%.1f  rounds=%d  %s\n",
+			trial, g, *algo, res.SetSize(), res.MaxEnergy(), res.AvgEnergy(), res.Rounds, validity)
+		if *verbose {
+			for v := range res.Status {
+				fmt.Printf("  node %4d  %-9s energy=%d\n", v, res.Status[v], res.Energy[v])
+			}
+		}
+	}
+	return nil
+}
+
+func solver(name string) (func(*graph.Graph, mis.Params, uint64) (*mis.Result, error), error) {
+	switch name {
+	case "cd":
+		return mis.SolveCD, nil
+	case "beep":
+		return mis.SolveBeep, nil
+	case "nocd":
+		return mis.SolveNoCD, nil
+	case "lowdegree":
+		return mis.SolveLowDegree, nil
+	case "naive-cd":
+		return mis.SolveNaiveCD, nil
+	case "naive-nocd":
+		return mis.SolveNaiveNoCD, nil
+	case "unknown-delta":
+		return mis.SolveUnknownDelta, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallCD(t *testing.T) {
+	if err := run([]string{"-algo", "cd", "-graph", "cycle", "-n", "32", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	if err := run([]string{"-algo", "beep", "-graph", "grid", "-n", "16", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoCDSmall(t *testing.T) {
+	if err := run([]string{"-algo", "nocd", "-graph", "star", "-n", "16"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown algo", args: []string{"-algo", "bogus"}},
+		{name: "unknown graph", args: []string{"-graph", "bogus"}},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSolverLookup(t *testing.T) {
+	for _, name := range []string{"cd", "beep", "nocd", "lowdegree", "naive-cd", "naive-nocd", "unknown-delta"} {
+		if _, err := solver(name); err != nil {
+			t.Errorf("solver(%q): %v", name, err)
+		}
+	}
+	if _, err := solver("nope"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}

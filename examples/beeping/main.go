@@ -1,0 +1,55 @@
+// Beeping: §3.1 of the paper observes that Algorithm 1 performs only unary
+// communication, so it runs verbatim in the beeping model. This example
+// elects an MIS on a grid of beeping devices and renders the result — MIS
+// nodes form the classic scattered-dominating pattern — then double-checks
+// that the beeping run matches the CD run decision-for-decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"radiomis"
+)
+
+func main() {
+	const rows, cols = 16, 32
+	g := radiomis.Grid(rows, cols)
+	params := radiomis.DefaultParams(g.N(), g.MaxDegree())
+
+	res, err := radiomis.SolveBeep(g, params, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Check(g); err != nil {
+		log.Fatal("not an MIS: ", err)
+	}
+
+	fmt.Printf("beeping grid %d×%d: |MIS| = %d, max energy = %d beeps+listens, rounds = %d\n\n",
+		rows, cols, res.SetSize(), res.MaxEnergy(), res.Rounds)
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if res.InMIS[r*cols+c] {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+
+	// Same seed in the CD radio model: identical behaviour (§3.1).
+	cd, err := radiomis.SolveCD(g, params, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := range res.Status {
+		if res.Status[v] != cd.Status[v] {
+			log.Fatalf("node %d diverged between beeping and CD models", v)
+		}
+	}
+	fmt.Println("\nbeeping run matches the CD-model run decision-for-decision ✓")
+}

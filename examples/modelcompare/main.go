@@ -1,0 +1,107 @@
+// Modelcompare: the communication-model hierarchy of §1.4, measured. The
+// same network solves MIS under three models — SLEEPING-CONGEST
+// (collision-free message passing), SLEEPING-RADIO with collision
+// detection (Algorithm 1), and SLEEPING-RADIO without collision detection
+// (Algorithm 2) — and the example prints what each weakening of the model
+// costs in awake rounds, with a text histogram of the per-node energy
+// distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"radiomis"
+	"radiomis/internal/congest"
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+func main() {
+	const n = 192
+	g := graph.GNP(n, 8.0/n, rng.New(13))
+	fmt.Printf("network: %v\n\n", g)
+	params := radiomis.DefaultParams(g.N(), g.MaxDegree())
+
+	// SLEEPING-CONGEST: classical Luby, no collisions to fight.
+	luby, err := congest.SolveLuby(g, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := luby.Check(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// SLEEPING-RADIO with collision detection: Algorithm 1.
+	cd, err := radiomis.SolveCD(g, params, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cd.Check(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// SLEEPING-RADIO without collision detection: Algorithm 2.
+	nocd, err := radiomis.SolveNoCD(g, params, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nocd.Check(g); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("model                      worst awake   avg awake      rounds")
+	fmt.Printf("sleeping-congest (luby)    %11d   %9.1f   %9d\n", luby.MaxAwake(), luby.AvgAwake(), luby.Rounds)
+	fmt.Printf("radio + CD   (algorithm 1) %11d   %9.1f   %9d\n", cd.MaxEnergy(), cd.AvgEnergy(), cd.Rounds)
+	fmt.Printf("radio no-CD  (algorithm 2) %11d   %9.1f   %9d\n", nocd.MaxEnergy(), nocd.AvgEnergy(), nocd.Rounds)
+
+	fmt.Println("\nper-node energy distribution (radio + CD, Algorithm 1):")
+	histogram(cd.Energy)
+	fmt.Println("\nper-node energy distribution (radio no-CD, Algorithm 2):")
+	histogram(nocd.Energy)
+
+	fmt.Println("\nreading: collision-freeness (CONGEST) makes MIS nearly free;")
+	fmt.Println("collision detection keeps the worst node at Θ(log n) awake rounds")
+	fmt.Println("(Theorem 2, optimal); losing it costs the Θ(log n) → Θ(log² n·loglog n)")
+	fmt.Println("gap of Theorem 10 — but stays far below the round count.")
+}
+
+// histogram prints a small log-bucketed text histogram.
+func histogram(energy []uint64) {
+	sorted := append([]uint64(nil), energy...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buckets := make(map[int]int)
+	for _, e := range energy {
+		b := 0
+		for v := uint64(1); v < e; v *= 2 {
+			b++
+		}
+		buckets[b]++
+	}
+	maxBucket := 0
+	for b := range buckets {
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	for b := 0; b <= maxBucket; b++ {
+		lo := uint64(0)
+		if b > 0 {
+			lo = 1 << (b - 1)
+		}
+		hi := uint64(1) << b
+		count := buckets[b]
+		fmt.Printf("  %6d–%-6d %4d %s\n", lo, hi, count, strings.Repeat("█", count/2+btoi(count > 0)))
+	}
+	fmt.Printf("  median %d, p90 %d, max %d\n",
+		sorted[len(sorted)/2], sorted[len(sorted)*9/10], sorted[len(sorted)-1])
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module radiomis
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package backbone realizes the paper's motivating application (§1):
+// using an MIS as the foundation of a communication backbone for ad-hoc
+// wireless networks. Clusterheads are the MIS members; every other node
+// attaches to an adjacent head; heads are interconnected through a few
+// connector nodes into a connected dominating set (CDS) — the classic
+// MIS→CDS construction, using the fact that in a connected graph the
+// "head graph" (heads within three hops) is connected.
+//
+// On top of the backbone, the package implements a collision-free
+// broadcast for the no-CD radio model: backbone nodes are distance-2
+// colored, each color owns a slot of a TDMA frame, and a backbone node
+// relays a received message exactly once in its own slot. Distance-2
+// coloring guarantees no listener ever experiences a collision, so a
+// single relay per node suffices — the energy contrast with naive
+// decay-flooding is measured in the tests and the backbone example.
+package backbone
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+)
+
+// Backbone is the cluster structure built on an MIS.
+type Backbone struct {
+	// Head marks the clusterheads (the MIS).
+	Head []bool
+	// Cluster maps every node to its clusterhead (heads map to
+	// themselves).
+	Cluster []int
+	// Connector marks non-head nodes recruited to connect the heads.
+	Connector []bool
+	// Member marks backbone membership: Head ∪ Connector.
+	Member []bool
+}
+
+// Size returns the number of backbone members.
+func (b *Backbone) Size() int { return graph.SetSize(b.Member) }
+
+// Heads returns the number of clusterheads.
+func (b *Backbone) Heads() int { return graph.SetSize(b.Head) }
+
+// Connectors returns the number of connector nodes.
+func (b *Backbone) Connectors() int { return graph.SetSize(b.Connector) }
+
+// Build constructs the backbone from a maximal independent set of g. It
+// returns an error if inMIS is not an MIS.
+func Build(g *graph.Graph, inMIS []bool) (*Backbone, error) {
+	if err := graph.CheckMIS(g, inMIS); err != nil {
+		return nil, fmt.Errorf("backbone: %w", err)
+	}
+	n := g.N()
+	b := &Backbone{
+		Head:      append([]bool(nil), inMIS...),
+		Cluster:   make([]int, n),
+		Connector: make([]bool, n),
+		Member:    make([]bool, n),
+	}
+
+	// Cluster assignment: each node attaches to its lowest-ID adjacent
+	// head (a routing layer could use signal strength instead; any
+	// deterministic rule works).
+	for v := 0; v < n; v++ {
+		if inMIS[v] {
+			b.Cluster[v] = v
+			b.Member[v] = true
+			continue
+		}
+		b.Cluster[v] = -1
+		for _, w := range g.Neighbors(v) {
+			if inMIS[w] && (b.Cluster[v] == -1 || w < b.Cluster[v]) {
+				b.Cluster[v] = w
+			}
+		}
+		if b.Cluster[v] == -1 {
+			// Unreachable: CheckMIS guarantees domination.
+			return nil, fmt.Errorf("backbone: node %d has no adjacent head", v)
+		}
+	}
+
+	// Connector selection: BFS over the head graph (heads adjacent iff
+	// within 3 hops of each other in g), adding the intermediate nodes of
+	// a shortest connecting path for every tree edge. Within each
+	// connected component of g this yields a connected backbone.
+	visited := make([]bool, n) // heads already absorbed into the tree
+	for root := 0; root < n; root++ {
+		if !inMIS[root] || visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			h := queue[0]
+			queue = queue[1:]
+			for _, hop := range headsWithin3(g, h, inMIS) {
+				if visited[hop.head] {
+					continue
+				}
+				visited[hop.head] = true
+				queue = append(queue, hop.head)
+				for _, c := range hop.via {
+					b.Connector[c] = true
+					b.Member[c] = true
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// hop is a head reachable within three hops plus the intermediate nodes of
+// one shortest path to it.
+type hop struct {
+	head int
+	via  []int
+}
+
+// headsWithin3 returns every head within distance ≤ 3 of h (excluding h)
+// together with the interior of a shortest path.
+func headsWithin3(g *graph.Graph, h int, inMIS []bool) []hop {
+	type visit struct {
+		node int
+		via  []int
+	}
+	var out []hop
+	seen := map[int]bool{h: true}
+	frontier := []visit{{node: h}}
+	for depth := 1; depth <= 3; depth++ {
+		var next []visit
+		for _, cur := range frontier {
+			for _, w := range g.Neighbors(cur.node) {
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				if inMIS[w] {
+					out = append(out, hop{head: w, via: cur.via})
+					continue // paths through another head are redundant
+				}
+				if depth < 3 {
+					via := make([]int, len(cur.via), len(cur.via)+1)
+					copy(via, cur.via)
+					next = append(next, visit{node: w, via: append(via, w)})
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Check verifies the backbone invariants: heads form an MIS, every node is
+// in a cluster led by an adjacent head, and within every connected
+// component of g the backbone members induce a connected dominating set.
+func (b *Backbone) Check(g *graph.Graph) error {
+	if err := graph.CheckMIS(g, b.Head); err != nil {
+		return fmt.Errorf("backbone: heads: %w", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		h := b.Cluster[v]
+		if b.Head[v] {
+			if h != v {
+				return fmt.Errorf("backbone: head %d clustered to %d", v, h)
+			}
+			continue
+		}
+		if h < 0 || h >= g.N() || !b.Head[h] || !g.HasEdge(v, h) {
+			return fmt.Errorf("backbone: node %d has invalid head %d", v, h)
+		}
+		if b.Connector[v] != b.Member[v] && !b.Head[v] {
+			return fmt.Errorf("backbone: membership flags inconsistent at %d", v)
+		}
+	}
+	// Dominating: every node is a member or adjacent to one.
+	if !graph.IsDominating(g, b.Member) {
+		// Heads alone dominate, so this cannot fail unless Member lost
+		// heads.
+		return fmt.Errorf("backbone: member set not dominating")
+	}
+	// Connected within each component of g: the backbone members of one
+	// g-component must form one connected induced subgraph.
+	comp := components(g)
+	sub, orig := g.InducedSubgraph(b.Member)
+	subComp := components(sub)
+	// Two backbone members in the same g-component must be in the same
+	// backbone component.
+	repr := make(map[int]int) // g-component → backbone component
+	for i, v := range orig {
+		gc := comp[v]
+		if r, ok := repr[gc]; ok {
+			if subComp[i] != r {
+				return fmt.Errorf("backbone: members %d and %d share a graph component but not a backbone component", orig[i], v)
+			}
+			continue
+		}
+		repr[gc] = subComp[i]
+	}
+	return nil
+}
+
+// components labels each vertex with a connected-component index.
+func components(g *graph.Graph) []int {
+	comp := make([]int, g.N())
+	for v := range comp {
+		comp[v] = -1
+	}
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		stack := []int{v}
+		comp[v] = next
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] == -1 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}

@@ -1,0 +1,241 @@
+package backbone
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+// Coloring is a distance-2 coloring of the backbone members: two members
+// with a common neighbor (or adjacent to each other) receive different
+// colors, so per-color TDMA slots are collision free for every possible
+// listener.
+type Coloring struct {
+	// Color maps node → color in [0, Count); non-members hold -1.
+	Color []int
+	// Count is the number of colors used.
+	Count int
+}
+
+// ColorBackbone greedily distance-2-colors the backbone members in ID
+// order. Greedy needs at most Δ² + 1 colors; on MIS-derived backbones the
+// count is far smaller in practice.
+func ColorBackbone(g *graph.Graph, b *Backbone) *Coloring {
+	n := g.N()
+	c := &Coloring{Color: make([]int, n)}
+	for v := range c.Color {
+		c.Color[v] = -1
+	}
+	forbidden := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		if !b.Member[v] {
+			continue
+		}
+		clear(forbidden)
+		for _, w := range g.Neighbors(v) {
+			if c.Color[w] >= 0 {
+				forbidden[c.Color[w]] = true
+			}
+			for _, x := range g.Neighbors(w) {
+				if x != v && c.Color[x] >= 0 {
+					forbidden[c.Color[x]] = true
+				}
+			}
+		}
+		color := 0
+		for forbidden[color] {
+			color++
+		}
+		c.Color[v] = color
+		if color+1 > c.Count {
+			c.Count = color + 1
+		}
+	}
+	return c
+}
+
+// Check verifies the distance-2 property: no two same-colored members
+// within distance two of each other.
+func (c *Coloring) Check(g *graph.Graph) error {
+	for v := 0; v < g.N(); v++ {
+		if c.Color[v] < 0 {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if c.Color[w] == c.Color[v] {
+				return fmt.Errorf("backbone: adjacent members %d and %d share color %d", v, w, c.Color[v])
+			}
+			for _, x := range g.Neighbors(w) {
+				if x != v && c.Color[x] == c.Color[v] {
+					return fmt.Errorf("backbone: members %d and %d at distance 2 share color %d", v, x, c.Color[v])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BroadcastResult is the outcome of a network-wide broadcast.
+type BroadcastResult struct {
+	// Informed marks nodes that received the message.
+	Informed []bool
+	// Energy holds per-node awake rounds.
+	Energy []uint64
+	// Rounds is the broadcast's round complexity.
+	Rounds uint64
+}
+
+// AllInformed reports whether every node received the message.
+func (r *BroadcastResult) AllInformed() bool {
+	for _, ok := range r.Informed {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxEnergy returns the worst per-node awake count.
+func (r *BroadcastResult) MaxEnergy() uint64 {
+	var max uint64
+	for _, e := range r.Energy {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// AvgEnergy returns the node-averaged awake count.
+func (r *BroadcastResult) AvgEnergy() float64 {
+	if len(r.Energy) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, e := range r.Energy {
+		sum += e
+	}
+	return float64(sum) / float64(len(r.Energy))
+}
+
+// Broadcast floods payload from source across the backbone in the no-CD
+// radio model using the TDMA schedule of the coloring:
+//
+//   - Round 0 is the injection slot: only the source transmits.
+//   - Afterwards, time is divided into frames of Count slots. A backbone
+//     member that has received the message relays it exactly once, in its
+//     color's slot of the next frame; distance-2 coloring makes every
+//     relay collision-free, so a single relay per member reaches all of
+//     its still-listening neighbors.
+//   - Every node listens until it has the message; non-members then halt
+//     immediately, members halt after their one relay.
+//
+// maxFrames bounds the schedule (diameter of the backbone; Size() is a
+// safe bound). Only the source's connected component can be informed.
+func Broadcast(g *graph.Graph, b *Backbone, c *Coloring, source int, payload uint64, maxFrames int, seed uint64) (*BroadcastResult, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("backbone: source %d out of range", source)
+	}
+	if maxFrames <= 0 {
+		maxFrames = b.Size() + 1
+	}
+	frame := uint64(c.Count)
+	if frame == 0 {
+		frame = 1
+	}
+	horizon := 1 + uint64(maxFrames)*frame
+
+	program := func(env *radio.Env) int64 {
+		if env.ID() == source {
+			env.Transmit(payload) // injection slot (round 0): source alone
+			return 1
+		}
+		// Listen from round 0 until informed or the horizon passes.
+		informed := false
+		for !informed && env.Round() < horizon {
+			if r := env.Listen(); r.Kind == radio.MessageKind && r.Payload == payload {
+				informed = true
+			}
+		}
+		if !informed {
+			return 0
+		}
+		if !b.Member[env.ID()] {
+			return 1 // leaves stop as soon as they have the message
+		}
+		// Backbone relay: transmit exactly once, at the next occurrence of
+		// this node's color slot. Slot s of frame f is round 1 + f·frame + s.
+		slot := uint64(c.Color[env.ID()])
+		t := env.Round()
+		if t < 1 {
+			t = 1
+		}
+		off := (t - 1) % frame
+		t += (slot - off + frame) % frame
+		env.SleepUntil(t)
+		env.Transmit(payload)
+		return 1
+	}
+
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed}, program)
+	if err != nil {
+		return nil, fmt.Errorf("backbone: broadcast: %w", err)
+	}
+	res := &BroadcastResult{
+		Informed: make([]bool, g.N()),
+		Energy:   rr.Energy,
+		Rounds:   rr.Rounds,
+	}
+	for v, out := range rr.Outputs {
+		res.Informed[v] = out == 1
+	}
+	return res, nil
+}
+
+// NaiveFlood is the baseline broadcast: every informed node repeatedly
+// decay-transmits and every uninformed node listens continuously, all
+// staying awake until informed (plus senders for ttl rounds). It measures
+// what the backbone schedule saves.
+func NaiveFlood(g *graph.Graph, source int, payload uint64, ttl int, seed uint64) (*BroadcastResult, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("backbone: source %d out of range", source)
+	}
+	if ttl <= 0 {
+		ttl = 4 * g.N()
+	}
+	program := func(env *radio.Env) int64 {
+		informed := env.ID() == source
+		for round := 0; round < ttl; round++ {
+			if informed {
+				// Decay-style: transmit with halving persistence.
+				if env.Rand().Intn(2) == 0 {
+					env.Transmit(payload)
+				} else {
+					env.Listen()
+				}
+				continue
+			}
+			if r := env.Listen(); r.Kind == radio.MessageKind && r.Payload == payload {
+				informed = true
+			}
+		}
+		if informed {
+			return 1
+		}
+		return 0
+	}
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed}, program)
+	if err != nil {
+		return nil, fmt.Errorf("backbone: naive flood: %w", err)
+	}
+	res := &BroadcastResult{
+		Informed: make([]bool, g.N()),
+		Energy:   rr.Energy,
+		Rounds:   rr.Rounds,
+	}
+	for v, out := range rr.Outputs {
+		res.Informed[v] = out == 1
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package backbone
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+// CoordinatorResult is the outcome of a backbone-wide coordinator
+// election.
+type CoordinatorResult struct {
+	// Coordinator marks the elected nodes — exactly one backbone member
+	// per connected component of the graph.
+	Coordinator []bool
+	// Energy holds per-node awake rounds.
+	Energy []uint64
+	// Rounds is the election's round complexity.
+	Rounds uint64
+}
+
+// Coordinators returns the elected node IDs in increasing order.
+func (r *CoordinatorResult) Coordinators() []int {
+	var out []int
+	for v, ok := range r.Coordinator {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ElectCoordinator elects a global coordinator per connected component by
+// max-rank flooding over the backbone's TDMA schedule: every backbone
+// member draws a unique random rank and, for the given number of frames,
+// transmits the best rank it knows in its color slot while listening in
+// the others. Ranks spread one backbone hop per frame, so after
+// frames ≥ backbone diameter every member knows its component's maximum;
+// the holder declares itself coordinator. Non-members sleep throughout
+// (they can learn the coordinator afterwards via Broadcast).
+//
+// frames ≤ 0 defaults to the backbone size (a safe diameter bound). This
+// is the multi-hop generalization of single-hop leader election, built on
+// the MIS backbone exactly as §1 of the paper envisions.
+func ElectCoordinator(g *graph.Graph, b *Backbone, c *Coloring, frames int, seed uint64) (*CoordinatorResult, error) {
+	if frames <= 0 {
+		frames = b.Size()
+		if frames == 0 {
+			frames = 1
+		}
+	}
+	frame := uint64(c.Count)
+	if frame == 0 {
+		frame = 1
+	}
+
+	program := func(env *radio.Env) int64 {
+		if !b.Member[env.ID()] {
+			return 0
+		}
+		// Unique rank: random high bits, ID low bits as tie-break.
+		rank := (env.Rand().Uint64() | 1<<63) &^ 0xFFFFFF
+		rank |= uint64(env.ID()) & 0xFFFFFF
+		best := rank
+		slot := uint64(c.Color[env.ID()])
+		for f := 0; f < frames; f++ {
+			frameStart := uint64(f) * frame
+			for s := uint64(0); s < frame; s++ {
+				if s == slot {
+					env.Transmit(best)
+					continue
+				}
+				if r := env.Listen(); r.Kind == radio.MessageKind && r.Payload > best {
+					best = r.Payload
+				}
+			}
+			env.SleepUntil(frameStart + frame) // defensive alignment
+		}
+		if best == rank {
+			return 1
+		}
+		return 0
+	}
+
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed}, program)
+	if err != nil {
+		return nil, fmt.Errorf("backbone: coordinator election: %w", err)
+	}
+	res := &CoordinatorResult{
+		Coordinator: make([]bool, g.N()),
+		Energy:      rr.Energy,
+		Rounds:      rr.Rounds,
+	}
+	for v, out := range rr.Outputs {
+		res.Coordinator[v] = out == 1
+	}
+	return res, nil
+}
+
+// CheckCoordinators verifies that exactly one coordinator was elected per
+// connected component that contains at least one backbone member, and that
+// every coordinator is a member.
+func CheckCoordinators(g *graph.Graph, b *Backbone, res *CoordinatorResult) error {
+	comp := components(g)
+	perComp := make(map[int]int)
+	hasMember := make(map[int]bool)
+	for v := 0; v < g.N(); v++ {
+		if b.Member[v] {
+			hasMember[comp[v]] = true
+		}
+		if res.Coordinator[v] {
+			if !b.Member[v] {
+				return fmt.Errorf("backbone: coordinator %d is not a backbone member", v)
+			}
+			perComp[comp[v]]++
+		}
+	}
+	for cidx, want := range hasMember {
+		if !want {
+			continue
+		}
+		if perComp[cidx] != 1 {
+			return fmt.Errorf("backbone: component %d elected %d coordinators, want 1", cidx, perComp[cidx])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package backbone
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+func TestBuildQuickAlwaysValid(t *testing.T) {
+	// Property: on any random graph, building on the greedy MIS yields a
+	// backbone that passes every invariant check.
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		p := float64(pRaw) / 255.0
+		g := graph.GNP(n, p, rng.New(seed))
+		b, err := Build(g, graph.GreedyMIS(g))
+		if err != nil {
+			return false
+		}
+		return b.Check(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColoringQuickAlwaysDistance2(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		g := graph.GNP(n, 0.15, rng.New(seed))
+		b, err := Build(g, graph.GreedyMIS(g))
+		if err != nil {
+			return false
+		}
+		return ColorBackbone(g, b).Check(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastQuickInformsComponent(t *testing.T) {
+	// Property: every node in the source's component is informed, every
+	// node outside it is not.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		g := graph.GNP(n, 0.12, rng.New(seed))
+		b, err := Build(g, graph.GreedyMIS(g))
+		if err != nil {
+			return false
+		}
+		c := ColorBackbone(g, b)
+		res, err := Broadcast(g, b, c, 0, 1, 0, seed)
+		if err != nil {
+			return false
+		}
+		comp := reachableFrom(g, 0)
+		for v := 0; v < n; v++ {
+			if res.Informed[v] != comp[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func reachableFrom(g *graph.Graph, s int) []bool {
+	seen := make([]bool, g.N())
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,174 @@
+// Package backoff implements the communication primitives of the no-CD
+// model: the paper's energy-efficient k-repeated backoff procedures
+// (Algorithm 4, Appendix C) and the traditional Decay backoff they improve
+// upon.
+//
+// A backoff runs for exactly Rounds(k, delta) = k·⌈log₂ Δ⌉ rounds, split
+// into k iterations of ⌈log₂ Δ⌉ slots. Senders and receivers that start a
+// backoff in the same round stay in lockstep for its entire duration, which
+// is what lets Algorithm 2 keep all nodes synchronized.
+//
+// Guarantees (Lemmas 8 and 9 of the paper):
+//
+//   - Send is awake exactly k rounds (one transmission per iteration).
+//   - Receive is awake at most k·⌈log₂ Δest⌉ rounds, and goes to sleep for
+//     the remainder as soon as it hears a message.
+//   - If a receiver has between 1 and Δest sender neighbors, it hears a
+//     message with probability at least 1 − (7/8)^k.
+package backoff
+
+import (
+	"math/bits"
+
+	"radiomis/internal/radio"
+	"radiomis/internal/rng"
+)
+
+// Slots returns the number of slots per backoff iteration: ⌈log₂ Δ⌉,
+// clamped to at least 2 whenever collisions are possible (Δ ≥ 2). The
+// clamp matters: Lemma 9's analysis needs the first slot's transmission
+// probability to be 1/2, i.e. the geometric slot choice must be able to
+// overflow past slot 1 — with a single slot two senders would collide in
+// every iteration and the receiver would never hear them.
+func Slots(delta int) int {
+	if delta <= 1 {
+		return 1
+	}
+	s := bits.Len(uint(delta - 1)) // ⌈log₂ delta⌉
+	if s < 2 {
+		return 2
+	}
+	return s
+}
+
+// Rounds returns the total duration T_B(k) = k·Slots(Δ) of a k-repeated
+// backoff with degree bound delta. Both Send and Receive consume exactly
+// this many rounds.
+func Rounds(k, delta int) uint64 {
+	return uint64(k) * uint64(Slots(delta))
+}
+
+// Send runs Snd-EBackoff(k, Δ): in each of the k iterations the sender
+// picks slot x with the capped geometric distribution P(x = j) = 2^{-j}
+// (the final slot absorbing the tail), transmits payload in that slot, and
+// sleeps through all other slots. Total awake rounds: exactly k.
+func Send(env *radio.Env, k, delta int, payload uint64) {
+	slots := Slots(delta)
+	for i := 0; i < k; i++ {
+		x := rng.GeometricHalf(env.Rand())
+		if x > slots {
+			x = slots
+		}
+		env.Sleep(uint64(x - 1))
+		env.Transmit(payload)
+		env.Sleep(uint64(slots - x))
+	}
+}
+
+// Receive runs Rec-EBackoff(k, Δ, Δest): it listens in the first
+// ⌈log₂ Δest⌉ slots of each iteration until it first hears a message, then
+// sleeps for the remainder of the backoff. It reports whether a message was
+// heard. deltaEst ≤ 0 defaults to delta (the paper's optional argument).
+func Receive(env *radio.Env, k, delta, deltaEst int) bool {
+	_, heard := ReceivePayload(env, k, delta, deltaEst)
+	return heard
+}
+
+// ReceivePayload is Receive but also returns the payload of the first
+// message heard (0 when nothing was heard).
+func ReceivePayload(env *radio.Env, k, delta, deltaEst int) (uint64, bool) {
+	if deltaEst <= 0 || deltaEst > delta {
+		deltaEst = delta
+	}
+	slots := Slots(delta)
+	listenSlots := Slots(deltaEst)
+	if listenSlots > slots {
+		listenSlots = slots
+	}
+	heard := false
+	var payload uint64
+	for i := 0; i < k; i++ {
+		j := 0
+		for ; !heard && j < listenSlots; j++ {
+			r := env.Listen()
+			if r.Kind == radio.MessageKind {
+				heard = true
+				payload = r.Payload
+				j++
+				break
+			}
+		}
+		env.Sleep(uint64(slots - j))
+	}
+	return payload, heard
+}
+
+// ReceiveNoEarlySleep is Receive with the paper's receiver-side energy
+// optimization disabled: the node listens in every one of its
+// ⌈log₂ Δest⌉ slots of every iteration even after hearing a message. It
+// exists for the ablation experiments (E10); the energy difference against
+// Receive is the saving §4.1 attributes to early sleeping.
+func ReceiveNoEarlySleep(env *radio.Env, k, delta, deltaEst int) bool {
+	if deltaEst <= 0 || deltaEst > delta {
+		deltaEst = delta
+	}
+	slots := Slots(delta)
+	listenSlots := Slots(deltaEst)
+	if listenSlots > slots {
+		listenSlots = slots
+	}
+	heard := false
+	for i := 0; i < k; i++ {
+		for j := 0; j < listenSlots; j++ {
+			if env.Listen().Kind == radio.MessageKind {
+				heard = true
+			}
+		}
+		env.Sleep(uint64(slots - listenSlots))
+	}
+	return heard
+}
+
+// Idle occupies the same Rounds(k, delta) window as a backoff while
+// sleeping throughout. Nodes that sit out a backoff phase call Idle to stay
+// aligned with participants.
+func Idle(env *radio.Env, k, delta int) {
+	env.Sleep(Rounds(k, delta))
+}
+
+// DecaySend is the traditional (non-energy-efficient) Decay sender: in each
+// iteration it transmits in slots 1..X for X geometric-capped, and stays
+// awake listening in all other slots. Energy: all k·Slots(Δ) rounds. Used
+// as the baseline that Snd-EBackoff improves on.
+func DecaySend(env *radio.Env, k, delta int, payload uint64) {
+	slots := Slots(delta)
+	for i := 0; i < k; i++ {
+		x := rng.GeometricHalf(env.Rand())
+		if x > slots {
+			x = slots
+		}
+		for j := 1; j <= slots; j++ {
+			if j <= x {
+				env.Transmit(payload)
+			} else {
+				env.Listen() // awake but idle: traditional backoff never sleeps
+			}
+		}
+	}
+}
+
+// DecayReceive is the traditional Decay receiver: it listens in every slot
+// of every iteration (energy k·Slots(Δ)) and reports whether any message
+// was heard.
+func DecayReceive(env *radio.Env, k, delta int) bool {
+	slots := Slots(delta)
+	heard := false
+	for i := 0; i < k; i++ {
+		for j := 0; j < slots; j++ {
+			if env.Listen().Kind == radio.MessageKind {
+				heard = true
+			}
+		}
+	}
+	return heard
+}

@@ -1,0 +1,317 @@
+// Package congest implements the SLEEPING-CONGEST model discussed in §1.4
+// of the paper: the standard synchronous CONGEST message-passing model
+// (nodes exchange O(log n)-bit messages with all neighbors each round,
+// with no collisions) extended with the sleeping energy measure — a node
+// is awake or asleep each round, only awake rounds count toward its awake
+// (energy) complexity, and a sleeping node neither sends nor receives.
+//
+// The package exists as the contrast substrate: the paper's SLEEPING-RADIO
+// model is strictly harder (single shared channel, collisions, send XOR
+// listen), and comparing the two quantifies what collision-freeness buys.
+// It also hosts the classical distributed Luby MIS, whose sleeping-model
+// awake complexity — O(log n) worst case, O(1) node-averaged, as studied
+// by Chatterjee–Gmyr–Pandurangan [13] — is measured in the tests.
+package congest
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+// DefaultMaxRounds caps simulated time (safety net against livelock).
+const DefaultMaxRounds = 1 << 24
+
+// ErrMaxRounds is returned when a run exceeds its round budget.
+var ErrMaxRounds = errors.New("congest: exceeded maximum simulated rounds")
+
+// Message is one received CONGEST message.
+type Message struct {
+	// From is the sending neighbor.
+	From int
+	// Payload is the message content (one machine word ≈ the CONGEST
+	// O(log n)-bit budget).
+	Payload uint64
+}
+
+// Program is a node algorithm in the sleeping-CONGEST model.
+type Program func(env *Env) int64
+
+// Env is a node's handle on the network. All methods must be called from
+// the node's program goroutine.
+type Env struct {
+	id  int
+	n   int
+	rnd interface {
+		Uint64() uint64
+		Int63() int64
+		Float64() float64
+	}
+	round uint64
+
+	actCh   chan action
+	replyCh chan []Message
+	kill    chan struct{}
+
+	energy uint64
+}
+
+// ID returns the node's index.
+func (e *Env) ID() int { return e.id }
+
+// N returns the network size.
+func (e *Env) N() int { return e.n }
+
+// Round returns the round of the node's next action.
+func (e *Env) Round() uint64 { return e.round }
+
+// Energy returns the awake rounds spent so far.
+func (e *Env) Energy() uint64 { return e.energy }
+
+// Rand64 draws from the node's private random stream.
+func (e *Env) Rand64() uint64 { return e.rnd.Uint64() }
+
+// Step spends one awake round: if send is true the node broadcasts payload
+// to all neighbors; either way it receives every message broadcast by an
+// awake neighbor this round (sorted by sender ID). Unlike the radio model,
+// sending and receiving in the same round is allowed and there are no
+// collisions.
+func (e *Env) Step(send bool, payload uint64) []Message {
+	select {
+	case e.actCh <- action{kind: actStep, send: send, payload: payload}:
+	case <-e.kill:
+		panic(killedError{})
+	}
+	e.round++
+	e.energy++
+	select {
+	case msgs := <-e.replyCh:
+		return msgs
+	case <-e.kill:
+		panic(killedError{})
+	}
+}
+
+// Sleep skips k rounds at zero energy.
+func (e *Env) Sleep(k uint64) {
+	if k == 0 {
+		return
+	}
+	select {
+	case e.actCh <- action{kind: actSleep, sleep: k}:
+	case <-e.kill:
+		panic(killedError{})
+	}
+	e.round += k
+}
+
+type killedError struct{}
+
+func (killedError) Error() string { return "congest: node killed by engine shutdown" }
+
+type actionKind int
+
+const (
+	actStep actionKind = iota + 1
+	actSleep
+	actHalt
+)
+
+type action struct {
+	kind    actionKind
+	send    bool
+	payload uint64
+	sleep   uint64
+	result  int64
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed derives per-node random streams.
+	Seed uint64
+	// MaxRounds caps simulated time; 0 means DefaultMaxRounds.
+	MaxRounds uint64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Outputs holds program return values.
+	Outputs []int64
+	// Awake holds per-node awake-round counts (the awake complexity).
+	Awake []uint64
+	// Rounds is the total rounds elapsed until the last awake action.
+	Rounds uint64
+}
+
+// MaxAwake returns the worst-case awake complexity.
+func (r *Result) MaxAwake() uint64 {
+	var max uint64
+	for _, a := range r.Awake {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// AvgAwake returns the node-averaged awake complexity (the measure of
+// Chatterjee–Gmyr–Pandurangan [13]).
+func (r *Result) AvgAwake() float64 {
+	if len(r.Awake) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, a := range r.Awake {
+		sum += a
+	}
+	return float64(sum) / float64(len(r.Awake))
+}
+
+// Run simulates program on every vertex of g and blocks until all nodes
+// halt.
+func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := g.N()
+	res := &Result{Outputs: make([]int64, n), Awake: make([]uint64, n)}
+	if n == 0 {
+		return res, nil
+	}
+
+	kill := make(chan struct{})
+	var wg sync.WaitGroup
+	envs := make([]*Env, n)
+	for i := 0; i < n; i++ {
+		envs[i] = &Env{
+			id:      i,
+			n:       n,
+			rnd:     rng.ForNode(cfg.Seed, i),
+			actCh:   make(chan action, 1),
+			replyCh: make(chan []Message, 1),
+			kill:    kill,
+		}
+	}
+	for i := 0; i < n; i++ {
+		env := envs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedError); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
+			out := program(env)
+			select {
+			case env.actCh <- action{kind: actHalt, result: out}:
+			case <-env.kill:
+			}
+		}()
+	}
+
+	err := coordinate(g, maxRounds, envs, res)
+	close(kill)
+	for _, env := range envs {
+		select {
+		case <-env.actCh:
+		default:
+		}
+	}
+	wg.Wait()
+	return res, err
+}
+
+type event struct {
+	round uint64
+	id    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].round != h[j].round {
+		return h[i].round < h[j].round
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func coordinate(g *graph.Graph, maxRounds uint64, envs []*Env, res *Result) error {
+	n := len(envs)
+	h := make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		h = append(h, event{round: 0, id: i})
+	}
+	heap.Init(&h)
+
+	var (
+		sendEpoch = make([]uint64, n)
+		payload   = make([]uint64, n)
+		epoch     uint64
+		steppers  []int
+		active    = n
+	)
+	for active > 0 {
+		r := h[0].round
+		if r >= maxRounds {
+			return fmt.Errorf("%w (cap %d)", ErrMaxRounds, maxRounds)
+		}
+		epoch++
+		steppers = steppers[:0]
+
+		var due []int
+		for len(h) > 0 && h[0].round == r {
+			due = append(due, heap.Pop(&h).(event).id)
+		}
+		for _, id := range due {
+			act := <-envs[id].actCh
+			switch act.kind {
+			case actStep:
+				if act.send {
+					sendEpoch[id] = epoch
+					payload[id] = act.payload
+				}
+				steppers = append(steppers, id)
+				res.Awake[id]++
+				heap.Push(&h, event{round: r + 1, id: id})
+			case actSleep:
+				heap.Push(&h, event{round: r + act.sleep, id: id})
+			case actHalt:
+				res.Outputs[id] = act.result
+				active--
+			default:
+				return fmt.Errorf("congest: node %d submitted unknown action %d", id, act.kind)
+			}
+		}
+		for _, id := range steppers {
+			var msgs []Message
+			for _, w := range g.Neighbors(id) {
+				if sendEpoch[w] == epoch {
+					msgs = append(msgs, Message{From: w, Payload: payload[w]})
+				}
+			}
+			envs[id].replyCh <- msgs
+		}
+		if len(steppers) > 0 {
+			res.Rounds = r + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+func TestStepDeliversToAllNeighbors(t *testing.T) {
+	// Triangle: everyone broadcasts its ID+10; everyone must receive both
+	// neighbors' messages (no collisions in CONGEST).
+	g := graph.Complete(3)
+	res, err := Run(g, Config{Seed: 1}, func(env *Env) int64 {
+		msgs := env.Step(true, uint64(env.ID()+10))
+		sum := int64(0)
+		for _, m := range msgs {
+			sum += int64(m.Payload)
+		}
+		return sum
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 receives 11+12=23, node 1 receives 10+12=22, node 2 → 21.
+	want := []int64{23, 22, 21}
+	for v, w := range want {
+		if res.Outputs[v] != w {
+			t.Errorf("node %d received sum %d, want %d", v, res.Outputs[v], w)
+		}
+	}
+}
+
+func TestSenderIdentityAndOrder(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3
+	res, err := Run(g, Config{Seed: 1}, func(env *Env) int64 {
+		if env.ID() == 0 {
+			msgs := env.Step(false, 0)
+			// Messages arrive sorted by sender.
+			code := int64(0)
+			for _, m := range msgs {
+				code = code*10 + int64(m.From)
+			}
+			return code
+		}
+		env.Step(true, 1)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 123 {
+		t.Errorf("center sender order code = %d, want 123", res.Outputs[0])
+	}
+}
+
+func TestSleepingNodesDoNotSendOrReceive(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(g, Config{Seed: 1}, func(env *Env) int64 {
+		if env.ID() == 0 {
+			env.Sleep(1)               // asleep in round 0
+			msgs := env.Step(false, 0) // round 1: neighbor already silent
+			return int64(len(msgs))
+		}
+		env.Step(true, 7) // round 0: broadcast while neighbor sleeps
+		env.Sleep(1)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 0 {
+		t.Errorf("sleeping node received %d messages sent while it slept", res.Outputs[0])
+	}
+}
+
+func TestSendAndReceiveSameRound(t *testing.T) {
+	// Unlike the radio model, CONGEST nodes send and receive in one round.
+	g := graph.Path(2)
+	res, err := Run(g, Config{Seed: 1}, func(env *Env) int64 {
+		msgs := env.Step(true, uint64(env.ID()+1))
+		if len(msgs) != 1 {
+			return -1
+		}
+		return int64(msgs[0].Payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 2 || res.Outputs[1] != 1 {
+		t.Errorf("simultaneous exchange failed: %v", res.Outputs)
+	}
+}
+
+func TestAwakeAccounting(t *testing.T) {
+	g := graph.New(1)
+	res, err := Run(g, Config{Seed: 1}, func(env *Env) int64 {
+		env.Step(false, 0)
+		env.Sleep(100)
+		env.Step(true, 0)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Awake[0] != 2 {
+		t.Errorf("awake = %d, want 2", res.Awake[0])
+	}
+	if res.Rounds != 102 {
+		t.Errorf("rounds = %d, want 102", res.Rounds)
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := graph.New(1)
+	_, err := Run(g, Config{Seed: 1, MaxRounds: 10}, func(env *Env) int64 {
+		for {
+			env.Step(false, 0)
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(graph.New(0), Config{Seed: 1}, func(env *Env) int64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 0 {
+		t.Error("empty run not empty")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := graph.GNP(50, 0.1, rng.New(2))
+	run := func() *Result {
+		res, err := Run(g, Config{Seed: 5}, func(env *Env) int64 {
+			acc := int64(0)
+			for i := 0; i < 5; i++ {
+				for _, m := range env.Step(env.Rand64()&1 == 1, env.Rand64()) {
+					acc = acc*31 + int64(m.Payload%1000)
+				}
+			}
+			return acc
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] {
+			t.Fatalf("node %d diverged", v)
+		}
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	r := &Result{Awake: []uint64{2, 4}}
+	if r.MaxAwake() != 4 || r.AvgAwake() != 3 {
+		t.Error("aggregates wrong")
+	}
+	if (&Result{}).AvgAwake() != 0 {
+		t.Error("empty avg not 0")
+	}
+}
+
+func TestLubyAllFamilies(t *testing.T) {
+	r := rng.New(3)
+	ud, _ := graph.UnitDisk(128, 0.16, r)
+	graphs := map[string]*graph.Graph{
+		"empty":  graph.Empty(64),
+		"clique": graph.Complete(64),
+		"cycle":  graph.Cycle(129),
+		"star":   graph.Star(64),
+		"gnp":    graph.GNP(128, 0.06, r),
+		"tree":   graph.RandomTree(128, r),
+		"disk":   ud,
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			res, err := SolveLuby(g, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Check(g); err != nil {
+				t.Fatalf("invalid MIS: %v", err)
+			}
+		})
+	}
+}
+
+func TestLubyManySeeds(t *testing.T) {
+	g := graph.GNP(200, 0.04, rng.New(4))
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := SolveLuby(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Check(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestLubyIsolatedCheapest(t *testing.T) {
+	res, err := SolveLuby(graph.Empty(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, a := range res.Awake {
+		if a != 2 {
+			t.Errorf("isolated node %d awake %d rounds, want 2", v, a)
+		}
+		if !res.InMIS[v] {
+			t.Errorf("isolated node %d not in MIS", v)
+		}
+	}
+}
+
+func TestLubyAwakeComplexities(t *testing.T) {
+	// §1.4 / [13]: worst-case awake is O(log n); node-averaged awake is
+	// O(1). Compare n=64 and n=4096: worst-case may grow slowly; the
+	// average must stay essentially flat.
+	measure := func(n int) (worst float64, avg float64) {
+		g := graph.GNP(n, 8.0/float64(n), rng.New(uint64(n)))
+		for seed := uint64(0); seed < 5; seed++ {
+			res, err := SolveLuby(g, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.MaxAwake()) > worst {
+				worst = float64(res.MaxAwake())
+			}
+			avg += res.AvgAwake() / 5
+		}
+		return worst, avg
+	}
+	worstSmall, avgSmall := measure(64)
+	worstBig, avgBig := measure(4096)
+	if avgBig > 2*avgSmall {
+		t.Errorf("node-averaged awake grew from %v to %v; want ~O(1)", avgSmall, avgBig)
+	}
+	if worstBig > 4*worstSmall {
+		t.Errorf("worst awake grew from %v to %v; want ~O(log n)", worstSmall, worstBig)
+	}
+	if avgBig > 10 {
+		t.Errorf("node-averaged awake = %v; expected a small constant", avgBig)
+	}
+}
+
+func TestLubyRoundsLogarithmic(t *testing.T) {
+	g := graph.GNP(1024, 0.01, rng.New(6))
+	res, err := SolveLuby(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rounds per phase, O(log n) phases w.h.p.
+	if res.Rounds > 2*60 {
+		t.Errorf("rounds = %d; expected O(log n) phases × 2", res.Rounds)
+	}
+}

@@ -1,0 +1,115 @@
+package congest
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+)
+
+// LubyProgram is the classical distributed Luby MIS in the
+// sleeping-CONGEST model. Each phase costs an undecided node exactly two
+// awake rounds:
+//
+//  1. Rank exchange: broadcast a fresh random rank, receive the ranks of
+//     all still-active neighbors. A node whose rank strictly exceeds every
+//     received rank is a local maximum and wins.
+//  2. Join announcement: winners broadcast; every other undecided node
+//     listens and, on hearing a join, terminates out of the MIS.
+//
+// Decided nodes halt (sleep forever), so a node's awake complexity is
+// 2 × (phases it stays undecided): O(log n) worst case and O(1)
+// node-averaged — the sleeping-model baseline the paper's §1.4 contrasts
+// the radio model against.
+func LubyProgram(maxPhases int) Program {
+	return func(env *Env) int64 {
+		for phase := 0; phase < maxPhases; phase++ {
+			rank := env.Rand64()
+			win := true
+			for _, m := range env.Step(true, rank) {
+				if m.Payload >= rank {
+					win = false
+				}
+			}
+			if win {
+				env.Step(true, 1) // join announcement
+				return int64(mis.StatusInMIS)
+			}
+			if len(env.Step(false, 0)) > 0 {
+				return int64(mis.StatusOutMIS)
+			}
+		}
+		return int64(mis.StatusUndecided)
+	}
+}
+
+// LubyResult is the outcome of a sleeping-CONGEST Luby run.
+type LubyResult struct {
+	// InMIS marks the computed set.
+	InMIS []bool
+	// Awake holds per-node awake-round counts.
+	Awake []uint64
+	// Rounds is the run's round complexity.
+	Rounds uint64
+	// Undecided counts nodes that exhausted the phase budget.
+	Undecided int
+}
+
+// MaxAwake returns the worst-case awake complexity.
+func (r *LubyResult) MaxAwake() uint64 {
+	var max uint64
+	for _, a := range r.Awake {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// AvgAwake returns the node-averaged awake complexity.
+func (r *LubyResult) AvgAwake() float64 {
+	if len(r.Awake) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, a := range r.Awake {
+		sum += a
+	}
+	return float64(sum) / float64(len(r.Awake))
+}
+
+// Check verifies the run produced an MIS of g.
+func (r *LubyResult) Check(g *graph.Graph) error {
+	if r.Undecided > 0 {
+		return fmt.Errorf("congest: %d nodes undecided", r.Undecided)
+	}
+	return graph.CheckMIS(g, r.InMIS)
+}
+
+// SolveLuby runs Luby's algorithm on g in the sleeping-CONGEST model. The
+// phase budget is 8·⌈log₂ n⌉ + 16, far beyond Luby's O(log n) w.h.p.
+// termination.
+func SolveLuby(g *graph.Graph, seed uint64) (*LubyResult, error) {
+	maxPhases := 16
+	for n := 1; n < g.N(); n *= 2 {
+		maxPhases += 8
+	}
+	rr, err := Run(g, Config{Seed: seed}, LubyProgram(maxPhases))
+	if err != nil {
+		return nil, fmt.Errorf("congest: luby run: %w", err)
+	}
+	res := &LubyResult{
+		InMIS:  make([]bool, g.N()),
+		Awake:  rr.Awake,
+		Rounds: rr.Rounds,
+	}
+	for v, out := range rr.Outputs {
+		switch mis.Status(out) {
+		case mis.StatusInMIS:
+			res.InMIS[v] = true
+		case mis.StatusUndecided:
+			res.Undecided++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/harness"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+	"radiomis/internal/texttable"
+)
+
+// E10Ablation quantifies the individual design choices of §5.1 by
+// disabling them one at a time and re-measuring Algorithm 2:
+//
+//   - commit (§5.1.1): without it, eventual winners listen with the full Δ
+//     budget and near-winners are not decided within their phase;
+//   - receiver early sleep (§4.1): without it, every fruitful listen pays
+//     its full k·log Δ budget;
+//   - shallow check (§5.1.2): removing it delays dominated nodes' exits;
+//     replacing it with a per-phase deep check (the strawman the paper
+//     argues against) inflates every undecided node's phase cost by
+//     Θ(log n).
+//
+// Every variant still computes a valid MIS; the table shows what each
+// optimization buys.
+func E10Ablation(cfg Config) (*Report, error) {
+	n := 128
+	if cfg.Quick {
+		n = 64
+	}
+	t := trials(cfg, 3, 6)
+
+	variants := []struct {
+		name string
+		abl  mis.Ablations
+	}{
+		{name: "full algorithm"},
+		{name: "no commit", abl: mis.Ablations{NoCommit: true}},
+		{name: "no receiver early sleep", abl: mis.Ablations{NoReceiverEarlySleep: true}},
+		{name: "no shallow check", abl: mis.Ablations{NoShallowCheck: true}},
+		{name: "deep shallow check", abl: mis.Ablations{DeepShallowCheck: true}},
+	}
+
+	table := texttable.New("variant", "max energy", "avg energy", "rounds", "success")
+	var fullMax, fullAvg float64
+	for i, v := range variants {
+		abl := v.abl
+		agg, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed},
+			func(seed uint64) (harness.Metrics, error) {
+				g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
+				p := mis.ParamsDefault(g.N(), g.MaxDegree())
+				p.Ablate = abl
+				res, err := mis.SolveNoCD(g, p, seed)
+				if err != nil {
+					return nil, err
+				}
+				success := 1.0
+				if res.Check(g) != nil {
+					success = 0
+				}
+				return harness.Metrics{
+					"maxEnergy": float64(res.MaxEnergy()),
+					"avgEnergy": res.AvgEnergy(),
+					"rounds":    float64(res.Rounds),
+					"success":   success,
+				}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e10 %s: %w", v.name, err)
+		}
+		if i == 0 {
+			fullMax, fullAvg = agg.Max("maxEnergy"), agg.Mean("avgEnergy")
+		}
+		table.AddRow(v.name, agg.Max("maxEnergy"), agg.Mean("avgEnergy"),
+			agg.Mean("rounds"), agg.Mean("success"))
+	}
+
+	// Segment breakdown of the full algorithm: where the energy actually
+	// goes (competition backoffs vs checks vs LowDegreeMIS).
+	seg := texttable.New("segment", "total energy", "share")
+	{
+		g := graph.GNP(n, 8.0/float64(n), rng.New(cfg.Seed))
+		p := mis.ParamsDefault(g.N(), g.MaxDegree())
+		_, bd, err := mis.SolveNoCDBreakdown(g, p, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e10 breakdown: %w", err)
+		}
+		comp, checks, low := bd.Totals()
+		total := comp + checks + low
+		if total > 0 {
+			seg.AddRow("competition", comp, float64(comp)/float64(total))
+			seg.AddRow("deep+shallow checks", checks, float64(checks)/float64(total))
+			seg.AddRow("lowdegree-mis", low, float64(low)/float64(total))
+		}
+	}
+
+	return &Report{
+		ID:     "E10",
+		Title:  "Ablations: what each §5.1 design choice buys",
+		Claim:  "disabling the commit mechanism, receiver early sleep, or the shallow-check design worsens energy while preserving correctness",
+		Tables: []*texttable.Table{table, seg},
+		Notes: []string{
+			fmt.Sprintf("baseline (full algorithm): max energy %.0f, avg energy %.1f", fullMax, fullAvg),
+			"every variant must report success 1 — the ablations trade cost, not correctness",
+			"expected: removing the shallow check roughly doubles avg energy; removing receiver early sleep inflates max energy; the deep-shallow strawman costs more than the O(1) shallow check",
+			"the commit mechanism's saving (log Δ vs log log n listening) only materializes when Δ ≫ κ·log n, which laptop-scale graphs cannot reach — at this scale its LowDegreeMIS overhead can even dominate (see EXPERIMENTS.md)",
+		},
+	}, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiomis/internal/congest"
+	"radiomis/internal/graph"
+	"radiomis/internal/harness"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+	"radiomis/internal/texttable"
+)
+
+// E11Models quantifies the model hierarchy discussed in §1.4: the
+// SLEEPING-CONGEST model (collision-free message passing with sleeping) is
+// strictly more powerful than SLEEPING-RADIO with collision detection,
+// which is more powerful than no-CD. The table measures MIS awake/energy
+// complexity for Luby-in-CONGEST, Algorithm 1 (CD), and Algorithm 2
+// (no-CD) on the same workloads — what each weakening of the
+// communication model costs.
+func E11Models(cfg Config) (*Report, error) {
+	ns := sizes(cfg, []int{64}, []int{64, 256})
+	t := trials(cfg, 3, 6)
+
+	table := texttable.New("n", "model", "algorithm", "worst awake", "avg awake", "rounds", "success")
+	for _, n := range ns {
+		// SLEEPING-CONGEST: classical Luby.
+		cg, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed},
+			func(seed uint64) (harness.Metrics, error) {
+				g := graph.Generate(graph.FamilyGNP, n, rng.New(seed))
+				res, err := congest.SolveLuby(g, seed)
+				if err != nil {
+					return nil, err
+				}
+				success := 1.0
+				if res.Check(g) != nil {
+					success = 0
+				}
+				return harness.Metrics{
+					"maxEnergy": float64(res.MaxAwake()),
+					"avgEnergy": res.AvgAwake(),
+					"rounds":    float64(res.Rounds),
+					"success":   success,
+				}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e11 congest n=%d: %w", n, err)
+		}
+		table.AddRow(n, "sleeping-congest", "luby",
+			cg.Max("maxEnergy"), cg.Mean("avgEnergy"), cg.Mean("rounds"), cg.Mean("success"))
+
+		// SLEEPING-RADIO with CD: Algorithm 1.
+		cd, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveCD))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e11 cd n=%d: %w", n, err)
+		}
+		table.AddRow(n, "radio cd", "algorithm 1",
+			cd.Max("maxEnergy"), cd.Mean("avgEnergy"), cd.Mean("rounds"), cd.Mean("success"))
+
+		// SLEEPING-RADIO without CD: Algorithm 2.
+		nocd, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveNoCD))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e11 nocd n=%d: %w", n, err)
+		}
+		table.AddRow(n, "radio no-cd", "algorithm 2",
+			nocd.Max("maxEnergy"), nocd.Mean("avgEnergy"), nocd.Mean("rounds"), nocd.Mean("success"))
+	}
+
+	return &Report{
+		ID:     "E11",
+		Title:  "§1.4: what each communication-model weakening costs",
+		Claim:  "SLEEPING-CONGEST ≥ radio-CD ≥ radio-no-CD: MIS awake complexity degrades from O(log n) (avg O(1)) through O(log n) to O(log² n log log n)",
+		Tables: []*texttable.Table{table},
+		Notes: []string{
+			"sleeping-congest Luby: node-averaged awake stays O(1) as n grows ([13]'s measure)",
+			"radio-CD matches congest's worst-case awake order (both Θ(log n)) despite collisions — Theorem 2's optimality",
+			"dropping collision detection costs the log n → log² n · log log n energy gap of Theorem 10",
+		},
+	}, nil
+}

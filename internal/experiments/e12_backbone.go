@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiomis/internal/backbone"
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+	"radiomis/internal/stats"
+	"radiomis/internal/texttable"
+)
+
+// E12Backbone measures the end-to-end application of §1: the MIS is turned
+// into a clusterhead backbone (connected dominating set), scheduled with a
+// distance-2 TDMA coloring, and used for collision-free broadcast. The
+// table reports the backbone's size and the per-broadcast energy saving
+// over always-awake naive flooding — the downstream payoff that justifies
+// optimizing MIS construction energy.
+func E12Backbone(cfg Config) (*Report, error) {
+	ns := sizes(cfg, []int{64}, []int{64, 144, 256})
+	t := trials(cfg, 2, 5)
+
+	table := texttable.New("n", "heads", "backbone", "slots", "bcast rounds",
+		"bcast avgE", "flood avgE", "saving", "informed")
+	for _, n := range ns {
+		var heads, members, slots, informed float64
+		var rounds, bcastE, floodE []float64
+		for trial := 0; trial < t; trial++ {
+			seed := rng.Mix(cfg.Seed, uint64(n*10+trial))
+			g := graph.Grid2D(isqrt(n), isqrt(n))
+			p := mis.ParamsDefault(g.N(), g.MaxDegree())
+			misRun, err := mis.SolveCD(g, p, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e12 mis: %w", err)
+			}
+			if err := misRun.Check(g); err != nil {
+				return nil, fmt.Errorf("experiments: e12 mis invalid: %w", err)
+			}
+			b, err := backbone.Build(g, misRun.InMIS)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e12 build: %w", err)
+			}
+			c := backbone.ColorBackbone(g, b)
+			bc, err := backbone.Broadcast(g, b, c, 0, 1, 0, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e12 broadcast: %w", err)
+			}
+			nf, err := backbone.NaiveFlood(g, 0, 1, 0, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e12 flood: %w", err)
+			}
+			heads += float64(b.Heads()) / float64(t)
+			members += float64(b.Size()) / float64(t)
+			slots += float64(c.Count) / float64(t)
+			if bc.AllInformed() {
+				informed += 1 / float64(t)
+			}
+			rounds = append(rounds, float64(bc.Rounds))
+			bcastE = append(bcastE, bc.AvgEnergy())
+			floodE = append(floodE, nf.AvgEnergy())
+		}
+		table.AddRow(isqrt(n)*isqrt(n), heads, members, slots,
+			stats.Mean(rounds), stats.Mean(bcastE), stats.Mean(floodE),
+			stats.Ratio(stats.Mean(bcastE), stats.Mean(floodE)), informed)
+	}
+
+	return &Report{
+		ID:     "E12",
+		Title:  "§1 application: MIS → backbone → collision-free broadcast",
+		Claim:  "an MIS-derived CDS with a distance-2 TDMA schedule broadcasts collision-free; per-message energy drops by an order of magnitude versus naive flooding",
+		Tables: []*texttable.Table{table},
+		Notes: []string{
+			"informed must be 1 (every broadcast reaches the whole connected grid)",
+			"the saving column is the per-broadcast average-energy ratio flood/backbone",
+		},
+	}, nil
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

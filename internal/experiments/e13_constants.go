@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+	"radiomis/internal/texttable"
+)
+
+// E13Constants sweeps the success-probability constants of the algorithms,
+// connecting the paper's constant choices to observable failure rates:
+//
+//   - β (rank length): two neighbors draw identical ranks with probability
+//     2^(−β log n) = n^(−β); small β makes co-winners (independence
+//     violations) visible.
+//   - C′ (backoff repetitions): each no-CD check fails with probability
+//     (7/8)^(C′ log n); small C′ makes missed detections visible.
+//   - C (Luby phases): too few phases leave nodes undecided.
+//
+// The paper's choices (β ≥ 4, C′ ≈ 26, C ≈ 176) push all three failure
+// modes below 1/poly(n); the sweep shows the failure cliff the defaults
+// stay clear of.
+func E13Constants(cfg Config) (*Report, error) {
+	n := 96
+	if cfg.Quick {
+		n = 48
+	}
+	t := trials(cfg, 5, 20)
+
+	beta := texttable.New("β", "cd failure rate", "failure kind")
+	for _, b := range []float64{0.25, 0.5, 1, 3} {
+		fails, kind, err := cdFailureRate(cfg, n, t, func(p *mis.Params) { p.Beta = b })
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e13 beta=%v: %w", b, err)
+		}
+		beta.AddRow(b, fails, kind)
+	}
+
+	c := texttable.New("C", "cd failure rate", "failure kind")
+	for _, cc := range []float64{0.2, 0.5, 1, 3} {
+		fails, kind, err := cdFailureRate(cfg, n, t, func(p *mis.Params) { p.C = cc })
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e13 C=%v: %w", cc, err)
+		}
+		c.AddRow(cc, fails, kind)
+	}
+
+	cprime := texttable.New("C′", "no-cd failure rate")
+	nocdTrials := trials(cfg, 3, 8)
+	for _, cp := range []float64{0.5, 1, 2, 5} {
+		fails := 0
+		for trial := 0; trial < nocdTrials; trial++ {
+			seed := rng.Mix(cfg.Seed, uint64(trial)+uint64(cp*1000))
+			g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
+			p := mis.ParamsDefault(g.N(), g.MaxDegree())
+			p.CPrime = cp
+			res, err := mis.SolveNoCD(g, p, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e13 cprime=%v: %w", cp, err)
+			}
+			if res.Check(g) != nil {
+				fails++
+			}
+		}
+		cprime.AddRow(cp, float64(fails)/float64(nocdTrials))
+	}
+
+	return &Report{
+		ID:     "E13",
+		Title:  "constants sensitivity: where the failure cliffs sit",
+		Claim:  "β, C, C′ control distinct 1/poly(n) failure modes (rank ties, phase exhaustion, missed detections); the defaults sit clear of all three cliffs",
+		Tables: []*texttable.Table{beta, c, cprime},
+		Notes: []string{
+			"tiny β → dependent sets (rank collisions); tiny C → undecided nodes; tiny C′ → missed deep checks in the no-CD algorithm",
+			"failure rates must be ≈ 0 at the right end of every sweep (the default constants)",
+			"measured: the no-CD algorithm tolerates surprisingly small C′ at this scale — a missed check in one phase is usually caught by a later phase's checks; the C′ bound matters for the one-shot w.h.p. guarantee, not typical behaviour",
+		},
+	}, nil
+}
+
+// cdFailureRate runs the CD algorithm with modified params and classifies
+// the dominant failure mode observed.
+func cdFailureRate(cfg Config, n, t int, mod func(*mis.Params)) (rate float64, kind string, err error) {
+	fails, undecided, dependent := 0, 0, 0
+	for trial := 0; trial < t; trial++ {
+		seed := rng.Mix(cfg.Seed, uint64(trial))
+		g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
+		p := mis.ParamsDefault(g.N(), g.MaxDegree())
+		mod(&p)
+		res, solveErr := mis.SolveCD(g, p, seed)
+		if solveErr != nil {
+			return 0, "", solveErr
+		}
+		if res.Check(g) == nil {
+			continue
+		}
+		fails++
+		if res.Undecided > 0 {
+			undecided++
+		}
+		if !graph.IsIndependent(g, res.InMIS) {
+			dependent++
+		}
+	}
+	kind = "-"
+	switch {
+	case dependent > undecided:
+		kind = "dependent sets"
+	case undecided > 0:
+		kind = "undecided nodes"
+	}
+	return float64(fails) / float64(t), kind, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/harness"
+	"radiomis/internal/texttable"
+
+	"radiomis/internal/mis"
+)
+
+// E5NoCDScaling reproduces Theorem 10: Algorithm 2's worst-case energy
+// grows like log² n (· log log n) while its rounds grow like
+// log³ n · log Δ, with success probability approaching 1, on sparse
+// arbitrary-topology graphs.
+func E5NoCDScaling(cfg Config) (*Report, error) {
+	ns := sizes(cfg, []int{32, 64, 128}, []int{32, 64, 128, 256, 512})
+	t := trials(cfg, 3, 8)
+
+	series, err := harness.Sweep(toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
+		func(x float64) harness.TrialFunc {
+			return misTrial(graph.FamilyGNP, int(x), mis.SolveNoCD)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: e5: %w", err)
+	}
+
+	table := texttable.New("n", "log₂ n", "max energy", "energy/log₂² n", "rounds", "rounds/log₂³ n", "success")
+	for _, pt := range series {
+		l := math.Log2(pt.X)
+		table.AddRow(int(pt.X), l,
+			pt.Agg.Max("maxEnergy"), pt.Agg.Max("maxEnergy")/(l*l),
+			pt.Agg.Mean("rounds"), pt.Agg.Mean("rounds")/(l*l*l),
+			pt.Agg.Mean("success"))
+	}
+
+	report := &Report{
+		ID:     "E5",
+		Title:  "Theorem 10: no-CD algorithm energy and round scaling",
+		Claim:  "Algorithm 2 (no-CD): energy O(log² n · log log n), rounds O(log³ n · log Δ), success ≥ 1 − 1/n",
+		Tables: []*texttable.Table{table},
+	}
+	if fit, err := series.GrowthExponent("maxEnergy", "max"); err == nil {
+		report.Notes = append(report.Notes, fmt.Sprintf(
+			"fitted energy growth exponent k in maxEnergy ∝ (log n)^k: %.2f (theory: ≈ 2 + o(1), R²=%.3f)", fit.Slope, fit.R2))
+	}
+	if fit, err := series.GrowthExponent("rounds", "mean"); err == nil {
+		report.Notes = append(report.Notes, fmt.Sprintf(
+			"fitted round growth exponent: %.2f (theory: ≈ 3 + log Δ drift, R²=%.3f)", fit.Slope, fit.R2))
+	}
+	return report, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+	"radiomis/internal/texttable"
+)
+
+// E7CommitDegree reproduces Corollary 13: after one call to Competition
+// (Algorithm 3), the subgraph induced by committed nodes has maximum degree
+// at most κ·log₂ n with high probability — the fact that lets committed
+// nodes run LowDegreeMIS with a logarithmic degree estimate.
+func E7CommitDegree(cfg Config) (*Report, error) {
+	t := trials(cfg, 5, 20)
+	type workload struct {
+		name string
+		gen  func(seed uint64) *graph.Graph
+		n    int
+	}
+	n1, n2 := 128, 512
+	if cfg.Quick {
+		n1, n2 = 64, 128
+	}
+	workloads := []workload{
+		{name: "gnp sparse", n: n2, gen: func(s uint64) *graph.Graph {
+			return graph.GNP(n2, 8.0/float64(n2), rng.New(s))
+		}},
+		{name: "gnp dense", n: n1, gen: func(s uint64) *graph.Graph {
+			return graph.GNP(n1, 0.3, rng.New(s))
+		}},
+		{name: "grid", n: n2, gen: func(s uint64) *graph.Graph {
+			side := 1
+			for side*side < n2 {
+				side++
+			}
+			return graph.Grid2D(side, side)
+		}},
+		{name: "prefattach", n: n2, gen: func(s uint64) *graph.Graph {
+			return graph.PreferentialAttachment(n2, 4, rng.New(s))
+		}},
+	}
+
+	table := texttable.New("workload", "n", "Δ", "κ·log₂ n bound", "max committed degree", "committed nodes", "violations")
+	for _, w := range workloads {
+		var worstDeg, committedSum, violations int
+		var delta int
+		var bound int
+		for trial := 0; trial < t; trial++ {
+			seed := rng.Mix(cfg.Seed, uint64(trial))
+			g := w.gen(seed)
+			p := mis.ParamsDefault(g.N(), g.MaxDegree())
+			delta = g.MaxDegree()
+			bound = p.CommitDegree()
+			deg, committed, err := mis.CommittedSubgraphMaxDegree(g, p, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e7 %s trial %d: %w", w.name, trial, err)
+			}
+			if deg > worstDeg {
+				worstDeg = deg
+			}
+			committedSum += committed
+			if deg > bound {
+				violations++
+			}
+		}
+		table.AddRow(w.name, w.n, delta, bound, worstDeg, committedSum/t, violations)
+	}
+
+	return &Report{
+		ID:     "E7",
+		Title:  "Corollary 13: committed subgraph has degree O(log n)",
+		Claim:  "after one Competition, committed nodes induce a subgraph of max degree ≤ κ·log n w.h.p. (Lemmas 11–12, Cor 13)",
+		Tables: []*texttable.Table{table},
+		Notes: []string{
+			"violations counts trials whose committed subgraph exceeded the κ·log₂ n estimate — expected 0",
+			"the measured committed-subgraph degree is typically far below the bound (the bound is what the algorithm relies on, not the typical value)",
+		},
+	}, nil
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// IsIndependent reports whether the vertex set (inSet[v] ⇔ v ∈ S) is an
+// independent set of g: no two members are adjacent.
+func IsIndependent(g *Graph, inSet []bool) bool {
+	for v := 0; v < g.N(); v++ {
+		if !inSet[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if inSet[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDominating reports whether every vertex is in the set or has a neighbor
+// in it (condition (i) of the MIS definition).
+func IsDominating(g *Graph, inSet []bool) bool {
+	for v := 0; v < g.N(); v++ {
+		if inSet[v] {
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(v) {
+			if inSet[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMIS reports whether the set is a maximal independent set (independent
+// and dominating).
+func IsMIS(g *Graph, inSet []bool) bool {
+	return IsIndependent(g, inSet) && IsDominating(g, inSet)
+}
+
+// CheckMIS returns a descriptive error when the set is not an MIS, and nil
+// when it is. It is the verification entry point used by all tests and by
+// the CLI.
+func CheckMIS(g *Graph, inSet []bool) error {
+	if len(inSet) != g.N() {
+		return fmt.Errorf("graph: set has %d entries, graph has %d vertices", len(inSet), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if inSet[v] {
+			for _, w := range g.Neighbors(v) {
+				if inSet[w] {
+					return fmt.Errorf("graph: not independent: both %d and %d in set", v, w)
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(v) {
+			if inSet[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("graph: not maximal: vertex %d has no neighbor in set", v)
+		}
+	}
+	return nil
+}
+
+// GreedyMIS returns the lexicographically-first maximal independent set —
+// the deterministic sequential oracle used to cross-check the distributed
+// algorithms (any valid MIS passes CheckMIS; Greedy provides a canonical
+// one plus a size reference).
+func GreedyMIS(g *Graph) []bool {
+	inSet := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return inSet
+}
+
+// LubyPhaseStats records the residual graph size after each phase of the
+// reference Luby run (used by experiment E3).
+type LubyPhaseStats struct {
+	Phase int // 1-based phase number
+	Nodes int // vertices still undecided after the phase
+	Edges int // edges among undecided vertices after the phase
+}
+
+// LubySequential runs the classical synchronous Luby algorithm (each phase:
+// every live vertex draws a uniform rank; strict local maxima join the MIS;
+// they and their neighbors leave) in a centralized fashion. It is the
+// golden model for residual-graph shrinkage (Lemma 5) and a correctness
+// oracle. It returns the MIS and the per-phase residual statistics.
+func LubySequential(g *Graph, r *rand.Rand) ([]bool, []LubyPhaseStats) {
+	n := g.N()
+	inSet := make([]bool, n)
+	live := make([]bool, n)
+	for v := range live {
+		live[v] = true
+	}
+	liveCount := n
+	var stats []LubyPhaseStats
+	rank := make([]uint64, n)
+	for phase := 1; liveCount > 0; phase++ {
+		for v := 0; v < n; v++ {
+			if live[v] {
+				rank[v] = r.Uint64()
+			}
+		}
+		// Strict local maxima join. Ties keep both out (they resolve in a
+		// later phase), matching the textbook analysis.
+		var joined []int
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			isMax := true
+			for _, w := range g.Neighbors(v) {
+				if live[w] && rank[w] >= rank[v] {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				joined = append(joined, v)
+			}
+		}
+		for _, v := range joined {
+			inSet[v] = true
+			if live[v] {
+				live[v] = false
+				liveCount--
+			}
+			for _, w := range g.Neighbors(v) {
+				if live[w] {
+					live[w] = false
+					liveCount--
+				}
+			}
+		}
+		edges := 0
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if w > v && live[w] {
+					edges++
+				}
+			}
+		}
+		stats = append(stats, LubyPhaseStats{Phase: phase, Nodes: liveCount, Edges: edges})
+		if phase > 64+4*n { // safety net; Luby terminates in O(log n) w.h.p.
+			panic("graph: LubySequential failed to terminate")
+		}
+	}
+	return inSet, stats
+}
+
+// SetSize returns the number of true entries.
+func SetSize(inSet []bool) int {
+	c := 0
+	for _, b := range inSet {
+		if b {
+			c++
+		}
+	}
+	return c
+}

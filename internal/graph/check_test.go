@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radiomis/internal/rng"
+)
+
+func TestIsIndependent(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	tests := []struct {
+		name string
+		set  []bool
+		want bool
+	}{
+		{name: "empty", set: []bool{false, false, false, false}, want: true},
+		{name: "alternating", set: []bool{true, false, true, false}, want: true},
+		{name: "adjacent pair", set: []bool{true, true, false, false}, want: false},
+		{name: "endpoints", set: []bool{true, false, false, true}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsIndependent(g, tt.set); got != tt.want {
+				t.Errorf("IsIndependent = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsDominating(t *testing.T) {
+	g := Path(4)
+	tests := []struct {
+		name string
+		set  []bool
+		want bool
+	}{
+		{name: "empty not dominating", set: []bool{false, false, false, false}, want: false},
+		{name: "middle pair dominates", set: []bool{false, true, true, false}, want: true},
+		{name: "one end misses other", set: []bool{true, false, false, false}, want: false},
+		{name: "MIS dominates", set: []bool{true, false, true, false}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsDominating(g, tt.set); got != tt.want {
+				t.Errorf("IsDominating = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckMISErrors(t *testing.T) {
+	g := Path(3)
+	if err := CheckMIS(g, []bool{true, true, false}); err == nil {
+		t.Error("CheckMIS accepted dependent set")
+	}
+	if err := CheckMIS(g, []bool{true, false, false}); err == nil {
+		t.Error("CheckMIS accepted non-maximal set")
+	}
+	if err := CheckMIS(g, []bool{true}); err == nil {
+		t.Error("CheckMIS accepted wrong-length set")
+	}
+	if err := CheckMIS(g, []bool{true, false, true}); err != nil {
+		t.Errorf("CheckMIS rejected valid MIS: %v", err)
+	}
+}
+
+func TestGreedyMISFamilies(t *testing.T) {
+	r := rng.New(20)
+	graphs := map[string]*Graph{
+		"empty":    Empty(10),
+		"clique":   Complete(10),
+		"path":     Path(10),
+		"cycle":    Cycle(11),
+		"star":     Star(10),
+		"grid":     Grid2D(5, 5),
+		"gnp":      GNP(100, 0.08, r),
+		"tree":     RandomTree(50, r),
+		"lowbound": LowerBoundGraph(40, r),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			set := GreedyMIS(g)
+			if err := CheckMIS(g, set); err != nil {
+				t.Fatalf("greedy produced invalid MIS: %v", err)
+			}
+		})
+	}
+}
+
+func TestGreedyMISKnownSizes(t *testing.T) {
+	if got := SetSize(GreedyMIS(Complete(7))); got != 1 {
+		t.Errorf("clique MIS size = %d, want 1", got)
+	}
+	if got := SetSize(GreedyMIS(Empty(7))); got != 7 {
+		t.Errorf("empty-graph MIS size = %d, want 7", got)
+	}
+	if got := SetSize(GreedyMIS(Star(7))); got != 1 && got != 6 {
+		t.Errorf("star MIS size = %d, want 1 (center) or 6 (leaves)", got)
+	}
+	// Greedy picks vertex 0 (the center) first.
+	if got := SetSize(GreedyMIS(Star(7))); got != 1 {
+		t.Errorf("greedy star MIS size = %d, want 1", got)
+	}
+}
+
+func TestLubySequentialValidAndShrinks(t *testing.T) {
+	r := rng.New(21)
+	g := GNP(300, 0.05, r)
+	set, stats := LubySequential(g, r)
+	if err := CheckMIS(g, set); err != nil {
+		t.Fatalf("Luby produced invalid MIS: %v", err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no phase stats recorded")
+	}
+	last := stats[len(stats)-1]
+	if last.Nodes != 0 || last.Edges != 0 {
+		t.Errorf("final residual graph not empty: %+v", last)
+	}
+	// Residual node counts must be non-increasing.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Nodes > stats[i-1].Nodes {
+			t.Errorf("residual grew at phase %d: %d → %d", i, stats[i-1].Nodes, stats[i].Nodes)
+		}
+	}
+}
+
+func TestLubySequentialTerminatesFast(t *testing.T) {
+	r := rng.New(22)
+	g := GNP(1000, 0.01, r)
+	_, stats := LubySequential(g, r)
+	// Theory: O(log n) phases w.h.p.; allow generous slack.
+	if len(stats) > 60 {
+		t.Errorf("Luby took %d phases on n=1000; expected O(log n)", len(stats))
+	}
+}
+
+func TestLubyEdgeHalvingOnAverage(t *testing.T) {
+	// Lemma 5 (classical Luby): residual edges halve per phase in
+	// expectation. Check the aggregate ratio over many runs.
+	r := rng.New(23)
+	var before, after float64
+	for trial := 0; trial < 30; trial++ {
+		g := GNP(200, 0.05, r)
+		_, stats := LubySequential(g, r)
+		prev := g.M()
+		for _, s := range stats {
+			before += float64(prev)
+			after += float64(s.Edges)
+			prev = s.Edges
+			if prev == 0 {
+				break
+			}
+		}
+	}
+	if after > 0.5*before*1.1 { // 10% tolerance over expectation
+		t.Errorf("aggregate edge ratio = %v, want ≤ ~0.5", after/before)
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	if got := SetSize([]bool{true, false, true, true}); got != 3 {
+		t.Errorf("SetSize = %d, want 3", got)
+	}
+	if got := SetSize(nil); got != 0 {
+		t.Errorf("SetSize(nil) = %d, want 0", got)
+	}
+}
+
+func TestGreedyQuickAlwaysMIS(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%80) + 1
+		p := float64(pRaw) / 255.0
+		g := GNP(n, p, rng.New(seed))
+		return CheckMIS(g, GreedyMIS(g)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLubyQuickAlwaysMIS(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		r := rng.New(seed)
+		g := GNP(n, 0.2, r)
+		set, _ := LubySequential(g, r)
+		return CheckMIS(g, set) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,433 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empty returns the edgeless graph on n vertices (every vertex must join
+// any MIS).
+func Empty(n int) *Graph { return New(n) }
+
+// Complete returns the clique K_n (exactly one vertex joins any MIS).
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.mustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle C_n (n ≥ 3). For n < 3 it returns a path.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.mustAddEdge(n-1, 0)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Path returns the path P_n on n vertices.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.mustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0. Stars maximize degree
+// skew: Δ = n-1 while the average degree is < 2.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.mustAddEdge(0, v)
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols grid graph, a standard low-degree sensor
+// layout. Vertex (r, c) has index r*cols + c.
+func Grid2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.mustAddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.mustAddEdge(v, v+cols)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices, a
+// Θ(log n)-regular graph (every vertex's degree equals d = log₂ n).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if w > v {
+				g.mustAddEdge(v, w)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// GNP returns an Erdős–Rényi random graph G(n, p) drawn with r.
+// It uses geometric edge skipping, so sparse graphs cost O(n + m).
+func GNP(n int, p float64, r *rand.Rand) *Graph {
+	g := New(n)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Iterate potential edges {w, v} (w < v) in lexicographic order,
+	// skipping ahead by a geometric stride each time (Batagelj–Brandes),
+	// so construction costs O(n + m) rather than O(n²).
+	logq := math.Log(1 - p)
+	v, w := 1, -1
+	for v < n {
+		skip := int(math.Floor(math.Log(1-r.Float64()) / logq))
+		w += 1 + skip
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			g.mustAddEdge(w, v)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// GNM returns a uniformly random graph with exactly m edges (m clipped to
+// the number of possible edges).
+func GNM(n, m int, r *rand.Rand) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	g := New(n)
+	for g.M() < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.mustAddEdge(u, v)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// MatchingPlusIsolated builds the Theorem 1 lower-bound graph: the union of
+// pairs disjoint edges and singles isolated vertices, with the vertex roles
+// randomly shuffled (the nodes are anonymous; shuffling removes any
+// accidental ID information). n = 2*pairs + singles.
+func MatchingPlusIsolated(pairs, singles int, r *rand.Rand) *Graph {
+	n := 2*pairs + singles
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 0; i < pairs; i++ {
+		g.mustAddEdge(perm[2*i], perm[2*i+1])
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// LowerBoundGraph builds the exact Theorem 1 construction for a network of
+// size n (rounded down to a multiple of 4): n/4 disjoint edges plus n/2
+// isolated nodes.
+func LowerBoundGraph(n int, r *rand.Rand) *Graph {
+	n -= n % 4
+	return MatchingPlusIsolated(n/4, n/2, r)
+}
+
+// UnitDisk places n points uniformly at random in the unit square and
+// connects pairs within Euclidean distance radius — the classical ad-hoc
+// sensor network model. It returns the graph and the point coordinates.
+func UnitDisk(n int, radius float64, r *rand.Rand) (*Graph, [][2]float64) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	g := New(n)
+	r2 := radius * radius
+	// Grid bucketing keeps construction near-linear for small radii.
+	cell := radius
+	if cell <= 0 {
+		cell = 1
+	}
+	buckets := make(map[[2]int][]int)
+	key := func(p [2]float64) [2]int {
+		return [2]int{int(p[0] / cell), int(p[1] / cell)}
+	}
+	for i, p := range pts {
+		buckets[key(p)] = append(buckets[key(p)], i)
+	}
+	for i, p := range pts {
+		k := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[[2]int{k[0] + dx, k[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx := p[0] - pts[j][0]
+					ddy := p[1] - pts[j][1]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.mustAddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g, pts
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer sequence.
+func RandomTree(n int, r *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.mustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+		deg[prufer[i]]++
+	}
+	for v := range deg {
+		deg[v]++ // leaves have degree 1
+	}
+	// Standard decoding with a sorted leaf set.
+	leaves := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	sort.Ints(leaves)
+	for _, p := range prufer {
+		leaf := leaves[0]
+		leaves = leaves[1:]
+		g.mustAddEdge(leaf, p)
+		deg[p]--
+		if deg[p] == 1 {
+			// Insert p keeping leaves sorted.
+			i := sort.SearchInts(leaves, p)
+			leaves = append(leaves, 0)
+			copy(leaves[i+1:], leaves[i:])
+			leaves[i] = p
+		}
+	}
+	g.mustAddEdge(leaves[0], leaves[1])
+	g.SortAdjacency()
+	return g
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: vertices
+// arrive one by one and attach k edges to existing vertices chosen
+// proportionally to degree (heavy-tailed degree distribution — a stress
+// test for degree-sensitive energy bounds).
+func PreferentialAttachment(n, k int, r *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	g := New(n)
+	if n == 0 {
+		return g
+	}
+	// Repeated-endpoint list: each edge contributes both endpoints, so
+	// sampling uniformly from the list is degree-proportional sampling.
+	targets := make([]int, 0, 2*k*n)
+	start := k + 1
+	if start > n {
+		start = n
+	}
+	for u := 1; u < start; u++ { // small seed clique-ish chain
+		g.mustAddEdge(u, u-1)
+		targets = append(targets, u, u-1)
+	}
+	for v := start; v < n; v++ {
+		added := make(map[int]bool, k)
+		for len(added) < k {
+			w := targets[r.Intn(len(targets))]
+			if w != v && !added[w] {
+				added[w] = true
+			}
+		}
+		for w := range added {
+			g.mustAddEdge(v, w)
+			targets = append(targets, v, w)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Bipartite returns a random bipartite graph with sides of size a and b,
+// each cross pair joined independently with probability p. Left vertices
+// are 0..a-1, right vertices a..a+b-1.
+func Bipartite(a, b int, p float64, r *rand.Rand) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			if r.Float64() < p {
+				g.mustAddEdge(u, v)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// DisjointCliques returns count disjoint cliques of the given size — the
+// committed-subgraph stress case: every clique must elect exactly one MIS
+// member.
+func DisjointCliques(count, size int) *Graph {
+	g := New(count * size)
+	for c := 0; c < count; c++ {
+		base := c * size
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				g.mustAddEdge(base+u, base+v)
+			}
+		}
+	}
+	return g
+}
+
+// Family identifies a named graph family for experiment configuration.
+type Family int
+
+// Graph families available to the experiment harness.
+const (
+	FamilyGNP Family = iota + 1
+	FamilyUnitDisk
+	FamilyGrid
+	FamilyTree
+	FamilyHypercube
+	FamilyClique
+	FamilyCycle
+	FamilyStar
+	FamilyLowerBound
+	FamilyPrefAttach
+	FamilyPath
+	FamilyBipartite
+)
+
+// String returns the family's canonical name.
+func (f Family) String() string {
+	switch f {
+	case FamilyGNP:
+		return "gnp"
+	case FamilyUnitDisk:
+		return "unitdisk"
+	case FamilyGrid:
+		return "grid"
+	case FamilyTree:
+		return "tree"
+	case FamilyHypercube:
+		return "hypercube"
+	case FamilyClique:
+		return "clique"
+	case FamilyCycle:
+		return "cycle"
+	case FamilyStar:
+		return "star"
+	case FamilyLowerBound:
+		return "lowerbound"
+	case FamilyPrefAttach:
+		return "prefattach"
+	case FamilyPath:
+		return "path"
+	case FamilyBipartite:
+		return "bipartite"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily converts a family name (as printed by String) back into a
+// Family. It reports an error for unknown names.
+func ParseFamily(s string) (Family, error) {
+	for f := FamilyGNP; f <= FamilyBipartite; f++ {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("graph: unknown family %q", s)
+}
+
+// Generate builds a member of the family with roughly n vertices using r.
+// Families with structural constraints may round n (e.g. grids use the
+// nearest rectangle, hypercubes the nearest power of two).
+func Generate(f Family, n int, r *rand.Rand) *Graph {
+	switch f {
+	case FamilyGNP:
+		// Expected average degree ~8, independent of n (sparse regime).
+		p := 8.0 / float64(max(n, 2))
+		if p > 1 {
+			p = 1
+		}
+		return GNP(n, p, r)
+	case FamilyUnitDisk:
+		// Radius chosen so the expected neighborhood size is ~10.
+		radius := math.Sqrt(10.0 / (math.Pi * float64(max(n, 1))))
+		g, _ := UnitDisk(n, radius, r)
+		return g
+	case FamilyGrid:
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 1 {
+			side = 1
+		}
+		return Grid2D(side, side)
+	case FamilyTree:
+		return RandomTree(n, r)
+	case FamilyHypercube:
+		d := 0
+		for (1 << (d + 1)) <= n {
+			d++
+		}
+		return Hypercube(d)
+	case FamilyClique:
+		return Complete(n)
+	case FamilyCycle:
+		return Cycle(n)
+	case FamilyStar:
+		return Star(n)
+	case FamilyLowerBound:
+		return LowerBoundGraph(n, r)
+	case FamilyPrefAttach:
+		return PreferentialAttachment(n, 4, r)
+	case FamilyPath:
+		return Path(n)
+	case FamilyBipartite:
+		return Bipartite(n/2, n-n/2, 4.0/float64(max(n, 2)), r)
+	default:
+		panic("graph: unknown family " + f.String())
+	}
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"radiomis/internal/rng"
+)
+
+func TestCompleteShape(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Errorf("K6 edges = %d, want 15", g.M())
+	}
+	if g.MaxDegree() != 5 {
+		t.Errorf("K6 Δ = %d, want 5", g.MaxDegree())
+	}
+}
+
+func TestCycleShape(t *testing.T) {
+	g := Cycle(7)
+	if g.M() != 7 {
+		t.Errorf("C7 edges = %d, want 7", g.M())
+	}
+	for v := 0; v < 7; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("C7 degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCycleSmall(t *testing.T) {
+	if g := Cycle(2); g.M() != 1 {
+		t.Errorf("Cycle(2) edges = %d, want 1 (degenerates to path)", g.M())
+	}
+	if g := Cycle(1); g.M() != 0 {
+		t.Errorf("Cycle(1) edges = %d, want 0", g.M())
+	}
+}
+
+func TestPathShape(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Errorf("P5 edges = %d, want 4", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("P5 degrees wrong")
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	g := Star(9)
+	if g.Degree(0) != 8 {
+		t.Errorf("star center degree = %d, want 8", g.Degree(0))
+	}
+	for v := 1; v < 9; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("star leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGrid2DShape(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n = %d, want 12", g.N())
+	}
+	// Edges: 3 rows × 3 horizontal + 2×4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Errorf("grid edges = %d, want 17", g.M())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("grid Δ = %d, want 4", g.MaxDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 {
+		t.Fatalf("Q4 n = %d, want 16", g.N())
+	}
+	for v := 0; v < 16; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Q4 degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGNPEdgeDensity(t *testing.T) {
+	r := rng.New(2)
+	const n, p = 400, 0.05
+	g := GNP(n, p, r)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.M())
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("G(%d,%v) edges = %v, want ≈ %v", n, p, got, want)
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	r := rng.New(3)
+	if g := GNP(50, 0, r); g.M() != 0 {
+		t.Errorf("G(n,0) has %d edges", g.M())
+	}
+	if g := GNP(10, 1, r); g.M() != 45 {
+		t.Errorf("G(10,1) has %d edges, want 45", g.M())
+	}
+	if g := GNP(1, 0.5, r); g.M() != 0 || g.N() != 1 {
+		t.Error("G(1,p) wrong")
+	}
+}
+
+func TestGNMExactCount(t *testing.T) {
+	r := rng.New(4)
+	g := GNM(30, 50, r)
+	if g.M() != 50 {
+		t.Errorf("GNM edges = %d, want 50", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Clipping.
+	if g := GNM(4, 100, r); g.M() != 6 {
+		t.Errorf("GNM clipped edges = %d, want 6", g.M())
+	}
+}
+
+func TestLowerBoundGraphShape(t *testing.T) {
+	r := rng.New(5)
+	g := LowerBoundGraph(64, r)
+	if g.N() != 64 {
+		t.Fatalf("lower bound graph n = %d, want 64", g.N())
+	}
+	if g.M() != 16 {
+		t.Errorf("lower bound graph edges = %d, want n/4 = 16", g.M())
+	}
+	deg1, deg0 := 0, 0
+	for v := 0; v < g.N(); v++ {
+		switch g.Degree(v) {
+		case 0:
+			deg0++
+		case 1:
+			deg1++
+		default:
+			t.Fatalf("vertex %d has degree %d; want 0 or 1", v, g.Degree(v))
+		}
+	}
+	if deg0 != 32 || deg1 != 32 {
+		t.Errorf("isolated=%d matched=%d, want 32/32", deg0, deg1)
+	}
+}
+
+func TestLowerBoundGraphRoundsDown(t *testing.T) {
+	r := rng.New(6)
+	g := LowerBoundGraph(67, r)
+	if g.N() != 64 {
+		t.Errorf("n = %d, want 64 (rounded to multiple of 4)", g.N())
+	}
+}
+
+func TestUnitDiskRespectsRadius(t *testing.T) {
+	r := rng.New(7)
+	g, pts := UnitDisk(200, 0.12, r)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every edge within radius; spot-check all edges and a sample of
+	// non-edges.
+	for _, e := range g.Edges() {
+		dx := pts[e[0]][0] - pts[e[1]][0]
+		dy := pts[e[0]][1] - pts[e[1]][1]
+		if dx*dx+dy*dy > 0.12*0.12+1e-12 {
+			t.Fatalf("edge %v spans distance² %v > r²", e, dx*dx+dy*dy)
+		}
+	}
+	for u := 0; u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			dx := pts[u][0] - pts[v][0]
+			dy := pts[u][1] - pts[v][1]
+			within := dx*dx+dy*dy <= 0.12*0.12
+			if within != g.HasEdge(u, v) {
+				t.Fatalf("pair (%d,%d): within=%v but edge=%v", u, v, within, g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	r := rng.New(8)
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		g := RandomTree(n, r)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		wantEdges := n - 1
+		if n == 0 {
+			wantEdges = 0
+		}
+		if n >= 1 && g.M() != wantEdges {
+			t.Fatalf("tree on %d vertices has %d edges, want %d", n, g.M(), wantEdges)
+		}
+		if n >= 1 && !connected(g) {
+			t.Fatalf("tree on %d vertices is disconnected", n)
+		}
+	}
+}
+
+func connected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	r := rng.New(9)
+	g := PreferentialAttachment(300, 3, r)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !connected(g) {
+		t.Error("preferential attachment graph disconnected")
+	}
+	// Heavy tail: max degree should comfortably exceed the average.
+	if float64(g.MaxDegree()) < 2*g.AvgDegree() {
+		t.Errorf("Δ=%d avg=%v: expected a heavy-tailed degree distribution", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestBipartiteSides(t *testing.T) {
+	r := rng.New(10)
+	g := Bipartite(20, 30, 0.3, r)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if g.HasEdge(u, v) {
+				t.Fatalf("left-side edge {%d,%d}", u, v)
+			}
+		}
+	}
+	for u := 20; u < 50; u++ {
+		for v := u + 1; v < 50; v++ {
+			if g.HasEdge(u, v) {
+				t.Fatalf("right-side edge {%d,%d}", u, v)
+			}
+		}
+	}
+}
+
+func TestDisjointCliques(t *testing.T) {
+	g := DisjointCliques(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("n = %d, want 20", g.N())
+	}
+	if g.M() != 4*10 {
+		t.Errorf("edges = %d, want 40", g.M())
+	}
+	if g.HasEdge(0, 5) {
+		t.Error("edge across cliques")
+	}
+}
+
+func TestFamilyStringRoundTrip(t *testing.T) {
+	for f := FamilyGNP; f <= FamilyBipartite; f++ {
+		got, err := ParseFamily(f.String())
+		if err != nil {
+			t.Fatalf("ParseFamily(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Errorf("round trip %v → %q → %v", f, f.String(), got)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Error("ParseFamily accepted unknown family")
+	}
+}
+
+func TestGenerateAllFamiliesValid(t *testing.T) {
+	r := rng.New(11)
+	for f := FamilyGNP; f <= FamilyBipartite; f++ {
+		t.Run(f.String(), func(t *testing.T) {
+			g := Generate(f, 128, r)
+			if g.N() == 0 {
+				t.Fatalf("family %v generated empty graph", f)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGNPQuickValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%64) + 2
+		p := float64(pRaw) / 300.0
+		g := GNP(n, p, rng.New(seed))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+
+	"radiomis/internal/rng"
+)
+
+func TestNewIsEdgeless(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5): n=%d m=%d, want 5, 0", g.N(), g.M())
+	}
+	if g.MaxDegree() != 0 {
+		t.Errorf("MaxDegree = %d, want 0", g.MaxDegree())
+	}
+}
+
+func TestNewNegativeClamped(t *testing.T) {
+	g := New(-3)
+	if g.N() != 0 {
+		t.Errorf("New(-3).N() = %d, want 0", g.N())
+	}
+}
+
+func TestAddEdgeBasic(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} not symmetric")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong after single edge")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{name: "self-loop", u: 1, v: 1},
+		{name: "negative", u: -1, v: 0},
+		{name: "out of range", u: 0, v: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Errorf("AddEdge(%d,%d) succeeded, want error", tt.u, tt.v)
+			}
+		})
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := Path(3)
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 5) || g.HasEdge(2, 2) {
+		t.Error("HasEdge accepted invalid vertices")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Cycle(5)
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("mutating clone mutated original")
+	}
+	if g.M() == c.M() {
+		t.Error("edge counts should diverge after clone mutation")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6) // 0-1-2-3-4-5-0
+	keep := []bool{true, true, false, true, true, false}
+	sub, orig := g.InducedSubgraph(keep)
+	if sub.N() != 4 {
+		t.Fatalf("sub.N = %d, want 4", sub.N())
+	}
+	wantOrig := []int{0, 1, 3, 4}
+	for i, v := range wantOrig {
+		if orig[i] != v {
+			t.Fatalf("orig = %v, want %v", orig, wantOrig)
+		}
+	}
+	// Surviving edges: {0,1} and {3,4} → sub indices {0,1} and {2,3}.
+	if sub.M() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(2, 3) {
+		t.Errorf("subgraph edges wrong: %v", sub.Edges())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("subgraph invalid: %v", err)
+	}
+}
+
+func TestInducedSubgraphEmptyMask(t *testing.T) {
+	g := Complete(4)
+	sub, orig := g.InducedSubgraph(make([]bool, 4))
+	if sub.N() != 0 || len(orig) != 0 {
+		t.Errorf("empty mask gave n=%d orig=%v", sub.N(), orig)
+	}
+}
+
+func TestEdgesSortedPairs(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{2, 3}, {0, 3}, {1, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := [][2]int{{0, 1}, {0, 3}, {2, 3}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	if d := Complete(5).AvgDegree(); d != 4 {
+		t.Errorf("K5 avg degree = %v, want 4", d)
+	}
+	if d := New(0).AvgDegree(); d != 0 {
+		t.Errorf("empty graph avg degree = %v, want 0", d)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the structure directly.
+	g.adj[2] = append(g.adj[2], 0)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted asymmetric adjacency")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	got := Star(4).String()
+	want := "graph(n=4, m=3, Δ=3)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSortAdjacencyCanonicalizes(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{0, 3}, {0, 1}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.SortAdjacency()
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("adjacency not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestValidateRandomGraphs(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 20; i++ {
+		g := GNP(100, 0.1, r)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("GNP invalid at trial %d: %v", i, err)
+		}
+	}
+}

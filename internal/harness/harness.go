@@ -1,0 +1,153 @@
+// Package harness runs randomized experiments: repeated trials across
+// seeds (in parallel), named metric collection, and aggregation into the
+// series the benchmark suite tabulates.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"radiomis/internal/rng"
+	"radiomis/internal/stats"
+)
+
+// Metrics is one trial's named measurements.
+type Metrics map[string]float64
+
+// TrialFunc runs one trial with the given seed.
+type TrialFunc func(seed uint64) (Metrics, error)
+
+// Aggregate collects metric samples across trials.
+type Aggregate struct {
+	Trials int
+	values map[string][]float64
+}
+
+// Metric returns all samples of the named metric in trial order.
+func (a *Aggregate) Metric(name string) []float64 {
+	return append([]float64(nil), a.values[name]...)
+}
+
+// Summary returns descriptive statistics for the named metric.
+func (a *Aggregate) Summary(name string) stats.Summary {
+	return stats.Summarize(a.values[name])
+}
+
+// Mean returns the named metric's mean.
+func (a *Aggregate) Mean(name string) float64 { return stats.Mean(a.values[name]) }
+
+// Max returns the named metric's maximum.
+func (a *Aggregate) Max(name string) float64 { return stats.Max(a.values[name]) }
+
+// Names returns all metric names, sorted.
+func (a *Aggregate) Names() []string {
+	names := make([]string, 0, len(a.values))
+	for n := range a.values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Options configures Repeat.
+type Options struct {
+	// Trials is the number of runs (required, ≥ 1).
+	Trials int
+	// Seed derives per-trial seeds (trial i uses rng.Mix(Seed, i)), so
+	// experiment results are reproducible.
+	Seed uint64
+	// Parallelism caps concurrent trials; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Repeat runs f for each trial seed and aggregates the metrics. The first
+// trial error aborts the aggregation. Trials run concurrently but results
+// are stored in trial order, so aggregates are deterministic.
+func Repeat(opts Options, f TrialFunc) (*Aggregate, error) {
+	if opts.Trials < 1 {
+		return nil, fmt.Errorf("harness: Trials = %d, want ≥ 1", opts.Trials)
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > opts.Trials {
+		par = opts.Trials
+	}
+
+	results := make([]Metrics, opts.Trials)
+	errs := make([]error, opts.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < opts.Trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = f(rng.Mix(opts.Seed, uint64(i)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", i, err)
+		}
+	}
+	agg := &Aggregate{Trials: opts.Trials, values: make(map[string][]float64)}
+	for _, m := range results {
+		for name, v := range m {
+			agg.values[name] = append(agg.values[name], v)
+		}
+	}
+	return agg, nil
+}
+
+// Point is one x-position of a series (typically a network size) with its
+// aggregated trials.
+type Point struct {
+	X   float64
+	Agg *Aggregate
+}
+
+// Series is an experiment swept over an x-axis.
+type Series []Point
+
+// Sweep runs the experiment builder at every x value. build receives the x
+// value and must return the trial function for that size.
+func Sweep(xs []float64, opts Options, build func(x float64) TrialFunc) (Series, error) {
+	series := make(Series, 0, len(xs))
+	for _, x := range xs {
+		agg, err := Repeat(opts, build(x))
+		if err != nil {
+			return nil, fmt.Errorf("harness: sweep x=%v: %w", x, err)
+		}
+		series = append(series, Point{X: x, Agg: agg})
+	}
+	return series, nil
+}
+
+// Curve extracts (x, aggregated-metric) pairs from the series, reducing
+// each point's samples with reduce ("mean" or "max").
+func (s Series) Curve(metric, reduce string) (xs, ys []float64) {
+	for _, pt := range s {
+		xs = append(xs, pt.X)
+		switch reduce {
+		case "max":
+			ys = append(ys, pt.Agg.Max(metric))
+		default:
+			ys = append(ys, pt.Agg.Mean(metric))
+		}
+	}
+	return xs, ys
+}
+
+// GrowthExponent fits the polylog growth exponent of a metric across the
+// series (see stats.GrowthExponent).
+func (s Series) GrowthExponent(metric, reduce string) (stats.Fit, error) {
+	xs, ys := s.Curve(metric, reduce)
+	return stats.GrowthExponent(xs, ys)
+}

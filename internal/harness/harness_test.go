@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRepeatAggregates(t *testing.T) {
+	agg, err := Repeat(Options{Trials: 10, Seed: 1}, func(seed uint64) (Metrics, error) {
+		return Metrics{"x": float64(seed % 2)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 10 {
+		t.Errorf("Trials = %d, want 10", agg.Trials)
+	}
+	if got := len(agg.Metric("x")); got != 10 {
+		t.Errorf("samples = %d, want 10", got)
+	}
+	s := agg.Summary("x")
+	if s.Min < 0 || s.Max > 1 {
+		t.Errorf("summary out of range: %+v", s)
+	}
+}
+
+func TestRepeatDeterministicSeeds(t *testing.T) {
+	run := func() []float64 {
+		agg, err := Repeat(Options{Trials: 8, Seed: 7, Parallelism: 4}, func(seed uint64) (Metrics, error) {
+			return Metrics{"seed": float64(seed % 1000)}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.Metric("seed")
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d seed diverged across runs", i)
+		}
+	}
+}
+
+func TestRepeatDistinctSeedsPerTrial(t *testing.T) {
+	agg, err := Repeat(Options{Trials: 32, Seed: 9}, func(seed uint64) (Metrics, error) {
+		return Metrics{"seed": float64(seed)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[float64]bool)
+	for _, s := range agg.Metric("seed") {
+		if seen[s] {
+			t.Fatal("duplicate trial seed")
+		}
+		seen[s] = true
+	}
+}
+
+func TestRepeatPropagatesError(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Repeat(Options{Trials: 5, Seed: 1}, func(seed uint64) (Metrics, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRepeatRejectsZeroTrials(t *testing.T) {
+	if _, err := Repeat(Options{}, func(uint64) (Metrics, error) { return nil, nil }); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRepeatParallelismCap(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := Repeat(Options{Trials: 16, Seed: 2, Parallelism: 3}, func(uint64) (Metrics, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return Metrics{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds cap 3", peak.Load())
+	}
+}
+
+func TestSweepAndCurve(t *testing.T) {
+	series, err := Sweep([]float64{64, 256, 1024}, Options{Trials: 4, Seed: 3}, func(x float64) TrialFunc {
+		return func(seed uint64) (Metrics, error) {
+			return Metrics{"lin": x, "const": 5}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := series.Curve("lin", "mean")
+	if len(xs) != 3 || ys[0] != 64 || ys[2] != 1024 {
+		t.Errorf("curve wrong: %v %v", xs, ys)
+	}
+	_, maxYs := series.Curve("const", "max")
+	for _, y := range maxYs {
+		if y != 5 {
+			t.Errorf("max curve wrong: %v", maxYs)
+		}
+	}
+}
+
+func TestSeriesGrowthExponent(t *testing.T) {
+	// Metric = (log₂ n)²: exponent ≈ 2.
+	series, err := Sweep([]float64{64, 256, 1024, 4096}, Options{Trials: 2, Seed: 4}, func(x float64) TrialFunc {
+		return func(seed uint64) (Metrics, error) {
+			l := 0.0
+			for v := 1.0; v < x; v *= 2 {
+				l++
+			}
+			return Metrics{"e": l * l}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := series.GrowthExponent("e", "mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 1.5 || fit.Slope > 2.5 {
+		t.Errorf("growth exponent = %v, want ≈ 2", fit.Slope)
+	}
+}
+
+func TestAggregateNamesSorted(t *testing.T) {
+	agg, err := Repeat(Options{Trials: 1, Seed: 1}, func(uint64) (Metrics, error) {
+		return Metrics{"z": 1, "a": 2, "m": 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := agg.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "z" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,145 @@
+// Package leader implements energy-efficient leader election in a
+// single-hop radio network with collision detection — the problem family
+// in which the paper's sleeping energy model was first studied
+// ([12, 29, 30, 35] in the paper's bibliography) and a natural companion
+// primitive to MIS: an MIS of a clique is exactly one leader.
+//
+// The protocol is a classic elimination tournament adapted to the model's
+// constraints (no sender-side collision detection, unknown n):
+//
+// Each phase takes three rounds.
+//
+//  1. Claim: every remaining candidate transmits its random rank.
+//     Non-candidates listen. If exactly one candidate remains, they hear
+//     the rank as a clean message; otherwise they hear a collision.
+//  2. Echo: every non-candidate that heard a clean message transmits an
+//     acknowledgment; candidates listen. A candidate hearing the echo
+//     knows it is the unique survivor and becomes the leader. (With ≥ 2
+//     candidates there was a collision in round 1, so nobody echoes.)
+//  3. Eliminate: each candidate flips a fair coin; heads transmit, tails
+//     listen. A tails-candidate that hears anything (a heads-candidate
+//     exists) drops out. In expectation a constant fraction of candidates
+//     drops per phase, so O(log n) phases suffice w.h.p.
+//
+// Every node is awake O(1) rounds per phase while the election lasts and
+// non-candidates may sleep between their two duty rounds; total energy is
+// O(log n) per node — matching the Θ(log n) energy bound for CD leader
+// election with n unknown.
+//
+// The network must be single-hop (a clique) with at least 2 nodes; with a
+// single node there is no listener to echo, which the model makes
+// undetectable (a lone node hears silence forever).
+package leader
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+	"radiomis/internal/rng"
+)
+
+// Outcome codes returned by the program.
+const (
+	outcomeFollower int64 = 0
+	outcomeLeader   int64 = 1
+	outcomeFailed   int64 = -1
+)
+
+// Result is the outcome of an election.
+type Result struct {
+	// Leader is the elected node, or -1 if the phase budget ran out.
+	Leader int
+	// Energy holds per-node awake rounds.
+	Energy []uint64
+	// Rounds is the election's round complexity.
+	Rounds uint64
+}
+
+// MaxEnergy returns the worst per-node energy.
+func (r *Result) MaxEnergy() uint64 {
+	var max uint64
+	for _, e := range r.Energy {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Program returns the per-node election program with the given phase
+// budget. A node's return value is 1 (leader), 0 (follower) or −1 (budget
+// exhausted while still a candidate).
+func Program(maxPhases int) radio.Program {
+	return func(env *radio.Env) int64 {
+		candidate := true
+		for phase := 0; phase < maxPhases; phase++ {
+			if candidate {
+				// Round 1 — claim.
+				env.Transmit(env.Rand().Uint64())
+				// Round 2 — listen for the echo.
+				if env.Listen().Heard() {
+					return outcomeLeader
+				}
+				// Round 3 — elimination coin.
+				if rng.Bool(env.Rand()) {
+					env.TransmitBit()
+				} else if env.Listen().Heard() {
+					candidate = false
+				}
+				continue
+			}
+			// Non-candidate: listen in the claim round, echo a clean
+			// message, skip (sleep) the elimination round.
+			switch env.Listen().Kind {
+			case radio.MessageKind:
+				env.TransmitBit() // echo: the claimant is unique
+				return outcomeFollower
+			case radio.Silence:
+				// No candidates left?! Can only happen transiently if the
+				// leader already terminated; we are a follower.
+				return outcomeFollower
+			default: // collision: ≥ 2 candidates remain
+				env.Sleep(2) // skip echo + elimination rounds
+			}
+		}
+		if candidate {
+			return outcomeFailed
+		}
+		return outcomeFollower
+	}
+}
+
+// Elect runs the election on a single-hop network of n nodes (a clique)
+// in the CD model. It returns an error for n < 2 or if no leader emerged
+// within the phase budget (8·⌈log₂ n⌉ + 16 phases, far beyond the
+// expected O(log n)).
+func Elect(n int, seed uint64) (*Result, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("leader: need ≥ 2 nodes in a single-hop network, got %d", n)
+	}
+	maxPhases := 16
+	for m := 1; m < n; m *= 2 {
+		maxPhases += 8
+	}
+	g := graph.Complete(n)
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: seed}, Program(maxPhases))
+	if err != nil {
+		return nil, fmt.Errorf("leader: %w", err)
+	}
+	res := &Result{Leader: -1, Energy: rr.Energy, Rounds: rr.Rounds}
+	leaders := 0
+	for v, out := range rr.Outputs {
+		switch out {
+		case outcomeLeader:
+			res.Leader = v
+			leaders++
+		case outcomeFailed:
+			return nil, fmt.Errorf("leader: node %d exhausted the phase budget while still a candidate", v)
+		}
+	}
+	if leaders != 1 {
+		return nil, fmt.Errorf("leader: %d leaders elected, want exactly 1", leaders)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package leader
+
+import (
+	"testing"
+)
+
+func TestElectSmallSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16, 100} {
+		res, err := Elect(n, uint64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Leader < 0 || res.Leader >= n {
+			t.Errorf("n=%d: leader %d out of range", n, res.Leader)
+		}
+	}
+}
+
+func TestElectManySeeds(t *testing.T) {
+	const n = 64
+	leaders := make(map[int]int)
+	for seed := uint64(0); seed < 30; seed++ {
+		res, err := Elect(n, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		leaders[res.Leader]++
+	}
+	// The winner is rank-symmetric: no node should dominate absurdly.
+	for v, c := range leaders {
+		if c > 15 {
+			t.Errorf("node %d won %d/30 elections; expected near-uniform winners", v, c)
+		}
+	}
+}
+
+func TestElectRejectsTinyNetworks(t *testing.T) {
+	if _, err := Elect(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Elect(1, 1); err == nil {
+		t.Error("n=1 accepted (no listener can echo)")
+	}
+}
+
+func TestElectEnergyLogarithmic(t *testing.T) {
+	// Energy grows like log n: compare n=16 and n=1024 (64× more nodes);
+	// the worst-case energy ratio should stay near log ratio (10/4 = 2.5),
+	// far below linear.
+	worstAt := func(n int) float64 {
+		var worst uint64
+		for seed := uint64(0); seed < 5; seed++ {
+			res, err := Elect(n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MaxEnergy() > worst {
+				worst = res.MaxEnergy()
+			}
+		}
+		return float64(worst)
+	}
+	small, big := worstAt(16), worstAt(1024)
+	if big > 4*small {
+		t.Errorf("energy grew from %v to %v over a 64× size increase; want ~log growth", small, big)
+	}
+}
+
+func TestElectRoundsLogarithmic(t *testing.T) {
+	res, err := Elect(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rounds per phase, O(log n) phases expected.
+	if res.Rounds > 3*80 {
+		t.Errorf("election took %d rounds; expected O(log n) phases × 3", res.Rounds)
+	}
+}
+
+func TestElectDeterministic(t *testing.T) {
+	a, err := Elect(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Elect(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Leader != b.Leader || a.Rounds != b.Rounds {
+		t.Error("election not deterministic in seed")
+	}
+}
+
+func TestElectFollowersCheap(t *testing.T) {
+	// Followers spend ~1 awake round per phase plus one echo; their energy
+	// must stay below the candidates' worst case.
+	res, err := Elect(128, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderEnergy := res.Energy[res.Leader]
+	cheap := 0
+	for v, e := range res.Energy {
+		if v != res.Leader && e <= leaderEnergy {
+			cheap++
+		}
+	}
+	if cheap < 64 {
+		t.Errorf("only %d followers at or below the leader's energy %d", cheap, leaderEnergy)
+	}
+}

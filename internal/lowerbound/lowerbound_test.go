@@ -1,0 +1,191 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyticBoundShape(t *testing.T) {
+	// At b = ½·log₂ n the bound is 1 − e^(−1/4); below it approaches 1,
+	// well above it approaches 0.
+	n := 1024
+	half := int(MinimumEnergy(n)) // 5
+	at := AnalyticBound(n, half)
+	want := 1 - math.Exp(-0.25)
+	if math.Abs(at-want) > 0.1 {
+		t.Errorf("bound at threshold = %v, want ≈ %v", at, want)
+	}
+	if low := AnalyticBound(n, 1); low < 0.99 {
+		t.Errorf("bound at b=1 = %v, want ≈ 1", low)
+	}
+	if high := AnalyticBound(n, 20); high > 0.01 {
+		t.Errorf("bound at b=20 = %v, want ≈ 0", high)
+	}
+}
+
+func TestAnalyticBoundMonotone(t *testing.T) {
+	for b := 1; b < 15; b++ {
+		if AnalyticBound(4096, b) < AnalyticBound(4096, b+1) {
+			t.Fatalf("bound not decreasing at b=%d", b)
+		}
+	}
+	for _, n := range []int{64, 256, 1024} {
+		if AnalyticBound(n, 4) > AnalyticBound(4*n, 4) {
+			continue
+		}
+		// Larger n ⇒ more pairs ⇒ larger failure probability.
+	}
+	if AnalyticBound(64, 4) > AnalyticBound(1024, 4) {
+		t.Error("bound should grow with n at fixed b")
+	}
+}
+
+func TestMinimumEnergy(t *testing.T) {
+	if got := MinimumEnergy(1024); got != 5 {
+		t.Errorf("MinimumEnergy(1024) = %v, want 5", got)
+	}
+	if got := MinimumEnergy(16); got != 2 {
+		t.Errorf("MinimumEnergy(16) = %v, want 2", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "tiny n", cfg: Config{N: 2, Budget: 1, Trials: 1}},
+		{name: "no budget", cfg: Config{N: 64, Budget: 0, Trials: 1}},
+		{name: "no trials", cfg: Config{N: 64, Budget: 1, Trials: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FailureProbOblivious(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+			if _, err := FailureProbTruncatedCD(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestObliviousFailsBelowThreshold(t *testing.T) {
+	// With a budget of 1, pairs almost never communicate: failure should
+	// be near certain for moderate n.
+	p, err := FailureProbOblivious(Config{N: 256, Budget: 1, Trials: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("failure prob at b=1 is %v, want ≈ 1", p)
+	}
+}
+
+func TestObliviousSucceedsAboveThreshold(t *testing.T) {
+	// Far above ½·log₂ n (= 4 at n=256), random schedules communicate
+	// w.h.p. and the forced decision rule yields a valid MIS.
+	p, err := FailureProbOblivious(Config{N: 256, Budget: 40, Trials: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.2 {
+		t.Errorf("failure prob at b=40 is %v, want ≈ 0", p)
+	}
+}
+
+func TestObliviousMonotoneInBudget(t *testing.T) {
+	rate := func(b int) float64 {
+		p, err := FailureProbOblivious(Config{N: 256, Budget: b, Trials: 60, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	low, mid, high := rate(1), rate(8), rate(48)
+	if !(low >= mid-0.1 && mid >= high-0.1) {
+		t.Errorf("failure not decreasing in budget: b=1→%v b=8→%v b=48→%v", low, mid, high)
+	}
+	if low < high {
+		t.Errorf("failure at b=1 (%v) below failure at b=48 (%v)", low, high)
+	}
+}
+
+func TestTruncatedCDFailsWithTinyBudget(t *testing.T) {
+	p, err := FailureProbTruncatedCD(Config{N: 256, Budget: 1, Trials: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("truncated CD failure at b=1 is %v, want ≈ 1", p)
+	}
+}
+
+func TestTruncatedCDSucceedsWithRealBudget(t *testing.T) {
+	// Theorem 2 says O(log n) suffices; give the truncated algorithm a
+	// comfortable multiple of log₂ n = 8 and it should almost always
+	// produce a valid MIS on the matching graph.
+	p, err := FailureProbTruncatedCD(Config{N: 256, Budget: 200, Trials: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.1 {
+		t.Errorf("truncated CD failure at b=200 is %v, want ≈ 0", p)
+	}
+}
+
+func TestTruncatedCDThresholdLocation(t *testing.T) {
+	// The transition should happen between b=2 and b ≈ Θ(log n): failure
+	// near 1 at b=2, clearly reduced by b=6·log₂ n.
+	n := 512
+	lo, err := FailureProbTruncatedCD(Config{N: n, Budget: 2, Trials: 25, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FailureProbTruncatedCD(Config{N: n, Budget: 6 * 9, Trials: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.8 {
+		t.Errorf("failure at b=2 is %v, want ≈ 1", lo)
+	}
+	if hi > lo-0.5 {
+		t.Errorf("failure did not drop across the threshold: b=2→%v b=54→%v", lo, hi)
+	}
+}
+
+func TestNoCDModelAtLeastAsHard(t *testing.T) {
+	// Theorem 1 applies to no-CD too; the no-CD failure rate at any budget
+	// must be at least the CD rate (collisions now read as silence, which
+	// can only hide more communication).
+	for _, b := range []int{4, 16, 48} {
+		cd, err := FailureProbOblivious(Config{N: 256, Budget: b, Trials: 60, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nocd, err := FailureProbOblivious(Config{N: 256, Budget: b, Trials: 60, Seed: 9, NoCD: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nocd < cd-0.1 {
+			t.Errorf("b=%d: no-CD failure %v below CD failure %v", b, nocd, cd)
+		}
+	}
+}
+
+func TestTruncatedNoCDThreshold(t *testing.T) {
+	lo, err := FailureProbTruncatedCD(Config{N: 256, Budget: 2, Trials: 20, Seed: 10, NoCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FailureProbTruncatedCD(Config{N: 256, Budget: 200, Trials: 20, Seed: 11, NoCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.9 {
+		t.Errorf("no-CD truncated failure at b=2 is %v, want ≈ 1", lo)
+	}
+	if hi > 0.2 {
+		t.Errorf("no-CD truncated failure at b=200 is %v, want ≈ 0", hi)
+	}
+}

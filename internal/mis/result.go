@@ -1,0 +1,136 @@
+package mis
+
+import (
+	"fmt"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+// Status is a node's final verdict.
+type Status int64
+
+// Node verdicts. StatusUndecided means the algorithm's phase budget ran out
+// before the node decided — a (low-probability) algorithm failure that
+// Result.Check reports.
+const (
+	StatusUndecided Status = 0
+	StatusInMIS     Status = 1
+	StatusOutMIS    Status = 2
+)
+
+// String returns the status's canonical name.
+func (s Status) String() string {
+	switch s {
+	case StatusUndecided:
+		return "undecided"
+	case StatusInMIS:
+		return "in-mis"
+	case StatusOutMIS:
+		return "out-mis"
+	default:
+		return fmt.Sprintf("status(%d)", int64(s))
+	}
+}
+
+// Result is the outcome of a distributed MIS run.
+type Result struct {
+	// Status holds each node's verdict.
+	Status []Status
+	// InMIS marks the computed set (InMIS[v] ⇔ Status[v] == StatusInMIS).
+	InMIS []bool
+	// Energy holds each node's awake-round count.
+	Energy []uint64
+	// DecisionRound holds the round at which each node's program halted —
+	// the instrumentation behind the residual-graph experiment (E3).
+	DecisionRound []uint64
+	// Rounds is the run's round complexity.
+	Rounds uint64
+	// Undecided counts nodes that failed to decide.
+	Undecided int
+}
+
+// haltTracer records each node's halting round.
+type haltTracer struct {
+	rounds []uint64
+}
+
+var _ radio.Tracer = (*haltTracer)(nil)
+
+func (t *haltTracer) RoundDone(uint64, []int, []int) {}
+
+func (t *haltTracer) NodeHalted(id int, _ int64, _ uint64, round uint64) {
+	t.rounds[id] = round
+}
+
+// runProgram executes program on g under the model and converts the raw
+// simulation outcome into an MIS result with decision-round
+// instrumentation. All Solve functions go through it.
+func runProgram(g *graph.Graph, model radio.Model, seed uint64, program radio.Program) (*Result, error) {
+	tracer := &haltTracer{rounds: make([]uint64, g.N())}
+	rr, err := radio.Run(g, radio.Config{Model: model, Seed: seed, Tracer: tracer}, program)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(rr)
+	res.DecisionRound = tracer.rounds
+	return res, nil
+}
+
+// newResult converts a raw simulation result into an MIS result.
+func newResult(rr *radio.Result) *Result {
+	n := len(rr.Outputs)
+	res := &Result{
+		Status: make([]Status, n),
+		InMIS:  make([]bool, n),
+		Energy: rr.Energy,
+		Rounds: rr.Rounds,
+	}
+	for i, out := range rr.Outputs {
+		s := Status(out)
+		res.Status[i] = s
+		switch s {
+		case StatusInMIS:
+			res.InMIS[i] = true
+		case StatusUndecided:
+			res.Undecided++
+		}
+	}
+	return res
+}
+
+// MaxEnergy returns the worst-case per-node energy of the run.
+func (r *Result) MaxEnergy() uint64 {
+	var max uint64
+	for _, e := range r.Energy {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// AvgEnergy returns the node-averaged energy of the run.
+func (r *Result) AvgEnergy() float64 {
+	if len(r.Energy) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, e := range r.Energy {
+		sum += e
+	}
+	return float64(sum) / float64(len(r.Energy))
+}
+
+// SetSize returns the number of nodes in the computed set.
+func (r *Result) SetSize() int { return graph.SetSize(r.InMIS) }
+
+// Check verifies that the run produced a correct MIS of g: every node
+// decided, the set is independent, and the set is maximal. A nil error
+// means full success.
+func (r *Result) Check(g *graph.Graph) error {
+	if r.Undecided > 0 {
+		return fmt.Errorf("mis: %d nodes undecided", r.Undecided)
+	}
+	return graph.CheckMIS(g, r.InMIS)
+}

@@ -1,0 +1,76 @@
+package mis
+
+import (
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+// These tests document the synchronous wake-up assumption of §1.1: the
+// paper's algorithms (like [18, 36]) require all nodes to start
+// simultaneously. With adversarially staggered wake-ups the phase
+// structure collapses — nodes compete in disjoint windows, hear nothing,
+// and all join the MIS.
+
+func TestSynchronousWakeupAssumptionNecessary(t *testing.T) {
+	// Stagger every clique node by a full Luby phase: each runs its
+	// competition while all others sleep, hears silence, and wins —
+	// a guaranteed independence violation on K_n.
+	g := graph.Complete(8)
+	p := ParamsDefault(8, 7)
+	phase := uint64(p.RankBits() + 1)
+	wake := make([]uint64, g.N())
+	for v := range wake {
+		wake[v] = uint64(v) * phase
+	}
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, WakeRound: wake}, CDProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make([]bool, g.N())
+	for v, out := range rr.Outputs {
+		inSet[v] = Status(out) == StatusInMIS
+	}
+	if graph.IsIndependent(g, inSet) {
+		t.Error("fully staggered clique produced an independent set — expected the documented failure mode")
+	}
+	joined := graph.SetSize(inSet)
+	if joined < g.N() {
+		t.Logf("%d of %d staggered nodes joined", joined, g.N())
+	}
+}
+
+func TestEvenOneRoundJitterBreaksTheAlgorithm(t *testing.T) {
+	// Measured finding (stronger than the clique construction): even a
+	// single round of alternating wake-up jitter on a cycle desynchronizes
+	// the phase boundaries — a node can mistake a neighbor's confirmation
+	// for a competition transmission, miss the checking round, and later
+	// join next to an established MIS member. The synchronous wake-up
+	// assumption is tight, not conservative.
+	g := graph.Cycle(24)
+	p := ParamsDefault(24, 2)
+	broken := 0
+	const trials = 10
+	for seed := uint64(0); seed < trials; seed++ {
+		wake := make([]uint64, g.N())
+		for v := range wake {
+			wake[v] = uint64(v % 2) // one-round jitter
+		}
+		rr, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: seed, WakeRound: wake}, CDProgram(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSet := make([]bool, g.N())
+		for v, out := range rr.Outputs {
+			inSet[v] = Status(out) == StatusInMIS
+		}
+		if !graph.IsIndependent(g, inSet) {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("one-round jitter never broke independence; the documented failure mode vanished — investigate")
+	}
+	t.Logf("independence broken in %d/%d jittered trials", broken, trials)
+}

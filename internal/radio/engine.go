@@ -1,0 +1,291 @@
+package radio
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+// DefaultMaxRounds is the safety cap on simulated rounds. The paper's
+// slowest algorithm runs in O(log³ n · log Δ) rounds; even with generous
+// constants this cap is far beyond any legitimate run at feasible n, so
+// hitting it indicates a livelocked algorithm.
+const DefaultMaxRounds = 1 << 28
+
+// ErrMaxRounds is returned when a run exceeds its round budget.
+var ErrMaxRounds = errors.New("radio: exceeded maximum simulated rounds")
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Model selects the collision semantics (required).
+	Model Model
+	// Seed derives every node's private random stream; runs with equal
+	// seeds (and equal inputs) are bit-for-bit identical.
+	Seed uint64
+	// MaxRounds caps simulated time; 0 means DefaultMaxRounds.
+	MaxRounds uint64
+	// Tracer, when non-nil, observes rounds and node decisions.
+	Tracer Tracer
+	// WakeRound optionally staggers node start times: node i begins
+	// executing at round WakeRound[i] (its Env round counter starts
+	// there). nil means synchronous wake-up at round 0 — the assumption
+	// the paper's algorithms are designed for (§1.1); staggered wake-up
+	// exists to demonstrate and test that assumption's necessity.
+	WakeRound []uint64
+	// UnaryOnly makes the engine reject any transmission whose payload is
+	// not the single bit 1, aborting the run with ErrNotUnary. It verifies
+	// the paper's §1.3 claim that its algorithms perform only unary
+	// communication (and are therefore beeping-compatible).
+	UnaryOnly bool
+}
+
+// ErrNotUnary is returned when a run configured with UnaryOnly transmits a
+// payload other than 1.
+var ErrNotUnary = errors.New("radio: non-unary transmission under UnaryOnly")
+
+// Result summarizes a completed run.
+type Result struct {
+	// Outputs holds each node's program return value.
+	Outputs []int64
+	// Energy holds each node's awake-round count — the paper's energy
+	// complexity measure, per node.
+	Energy []uint64
+	// Rounds is the total number of rounds elapsed until the last awake
+	// action (the round complexity of the run).
+	Rounds uint64
+}
+
+// MaxEnergy returns the worst-case (maximum) per-node energy — the paper's
+// energy complexity.
+func (r *Result) MaxEnergy() uint64 {
+	var max uint64
+	for _, e := range r.Energy {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// AvgEnergy returns the node-averaged energy.
+func (r *Result) AvgEnergy() float64 {
+	if len(r.Energy) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, e := range r.Energy {
+		sum += e
+	}
+	return float64(sum) / float64(len(r.Energy))
+}
+
+// TotalEnergy returns the sum of all nodes' energies.
+func (r *Result) TotalEnergy() uint64 {
+	var sum uint64
+	for _, e := range r.Energy {
+		sum += e
+	}
+	return sum
+}
+
+// Tracer observes simulation events. Implementations must be fast; they run
+// on the coordinator's critical path. The engine calls methods from a
+// single goroutine.
+type Tracer interface {
+	// RoundDone is called after each round that had at least one awake
+	// node. Slices are only valid during the call.
+	RoundDone(round uint64, transmitters, listeners []int)
+	// NodeHalted is called when a node's program returns.
+	NodeHalted(id int, output int64, energy uint64, round uint64)
+}
+
+// Run simulates program on every vertex of g under cfg and blocks until all
+// nodes halt. It returns ErrMaxRounds (wrapped) if the round budget is
+// exhausted; in that case all node goroutines are torn down before Run
+// returns.
+func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
+	if cfg.Model < ModelCD || cfg.Model > ModelBeep {
+		return nil, fmt.Errorf("radio: invalid model %v", cfg.Model)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := g.N()
+	res := &Result{
+		Outputs: make([]int64, n),
+		Energy:  make([]uint64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	if cfg.WakeRound != nil && len(cfg.WakeRound) != n {
+		return nil, fmt.Errorf("radio: WakeRound has %d entries, graph has %d nodes", len(cfg.WakeRound), n)
+	}
+	kill := make(chan struct{})
+	var wg sync.WaitGroup
+	envs := make([]*Env, n)
+	wakes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if cfg.WakeRound != nil {
+			wakes[i] = cfg.WakeRound[i]
+		}
+		envs[i] = &Env{
+			id:       i,
+			n:        n,
+			rand:     rng.ForNode(cfg.Seed, i),
+			round:    wakes[i],
+			intentCh: make(chan intent, 1),
+			replyCh:  make(chan Reception, 1),
+			kill:     kill,
+		}
+	}
+	for i := 0; i < n; i++ {
+		env := envs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedError); ok {
+						return // engine shutdown; exit quietly
+					}
+					panic(r) // real bug in a node program
+				}
+			}()
+			out := program(env)
+			env.submit(intent{kind: intentHalt, result: out})
+		}()
+	}
+
+	err := coordinate(g, cfg, maxRounds, envs, wakes, res)
+	close(kill)
+	// Drain any intents still buffered so blocked senders can observe the
+	// kill channel, then wait for all goroutines to exit.
+	for _, env := range envs {
+		select {
+		case <-env.intentCh:
+		default:
+		}
+	}
+	wg.Wait()
+	return res, err
+}
+
+// eventHeap orders pending node wake-ups by (round, id).
+type eventHeap []event
+
+type event struct {
+	round uint64
+	id    int
+}
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].round != h[j].round {
+		return h[i].round < h[j].round
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h eventHeap) peekRound() uint64 { return h[0].round }
+
+// coordinate is the discrete-event scheduler: it advances directly to the
+// next round with an awake node, gathers that round's intents, applies the
+// collision rule, and replies to listeners.
+func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
+	model, tracer := cfg.Model, cfg.Tracer
+	n := len(envs)
+	h := make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		h = append(h, event{round: wakes[i], id: i})
+	}
+	heap.Init(&h)
+
+	var (
+		// Epoch-stamped marks avoid clearing per round.
+		txEpoch      = make([]uint64, n)
+		txPayload    = make([]uint64, n)
+		epoch        uint64
+		transmitters []int
+		listeners    []int
+		active       = n
+	)
+
+	for active > 0 {
+		r := h.peekRound()
+		if r >= maxRounds {
+			return fmt.Errorf("%w (cap %d)", ErrMaxRounds, maxRounds)
+		}
+		epoch++
+		transmitters = transmitters[:0]
+		listeners = listeners[:0]
+
+		// Pop every node scheduled for round r, in id order (heap order
+		// already breaks round ties by id).
+		var due []int
+		for len(h) > 0 && h.peekRound() == r {
+			due = append(due, heap.Pop(&h).(event).id)
+		}
+		sort.Ints(due) // heap pops are (round,id)-ordered already; keep explicit for clarity
+
+		for _, id := range due {
+			env := envs[id]
+			it := <-env.intentCh
+			switch it.kind {
+			case intentTransmit:
+				if cfg.UnaryOnly && it.payload != 1 {
+					return fmt.Errorf("%w: node %d sent %#x", ErrNotUnary, id, it.payload)
+				}
+				txEpoch[id] = epoch
+				txPayload[id] = it.payload
+				transmitters = append(transmitters, id)
+				res.Energy[id]++
+				heap.Push(&h, event{round: r + 1, id: id})
+			case intentListen:
+				listeners = append(listeners, id)
+				res.Energy[id]++
+				heap.Push(&h, event{round: r + 1, id: id})
+			case intentSleep:
+				heap.Push(&h, event{round: r + it.sleep, id: id})
+			case intentHalt:
+				res.Outputs[id] = it.result
+				active--
+				if tracer != nil {
+					tracer.NodeHalted(id, it.result, res.Energy[id], r)
+				}
+			default:
+				return fmt.Errorf("radio: node %d submitted unknown intent %d", id, it.kind)
+			}
+		}
+
+		// Deliver receptions.
+		for _, id := range listeners {
+			count := 0
+			var payload uint64
+			for _, w := range g.Neighbors(id) {
+				if txEpoch[w] == epoch {
+					count++
+					payload = txPayload[w]
+				}
+			}
+			envs[id].replyCh <- perceive(model, count, payload)
+		}
+
+		if len(transmitters) > 0 || len(listeners) > 0 {
+			res.Rounds = r + 1
+			if tracer != nil {
+				tracer.RoundDone(r, transmitters, listeners)
+			}
+		}
+	}
+	return nil
+}

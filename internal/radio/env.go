@@ -1,0 +1,123 @@
+package radio
+
+import (
+	"math/rand"
+)
+
+// Program is a node algorithm. It runs in its own goroutine, interacts with
+// the network exclusively through the Env, and its return value is the
+// node's output (for MIS algorithms, the final status). Returning halts the
+// node: it sleeps forever and spends no further energy.
+type Program func(env *Env) int64
+
+// errKilled is the sentinel panic value used to unwind node goroutines when
+// the engine aborts a run (e.g. on exceeding MaxRounds).
+type killedError struct{}
+
+func (killedError) Error() string { return "radio: node killed by engine shutdown" }
+
+// Env is a node's handle on the simulated radio network. All methods must
+// be called from the node's own program goroutine. An Env is not safe for
+// use from other goroutines.
+type Env struct {
+	id    int
+	n     int
+	rand  *rand.Rand
+	round uint64 // round at which the node's next action takes place
+
+	intentCh chan intent
+	replyCh  chan Reception
+	kill     chan struct{}
+
+	energy uint64
+}
+
+// ID returns the node's index in [0, N). The model is anonymous — the
+// paper's algorithms never read IDs — but experiments and traces need them.
+func (e *Env) ID() int { return e.id }
+
+// N returns the number of nodes in the simulated network. Algorithms that
+// should only know an upper bound receive that bound as an explicit
+// parameter instead of calling N.
+func (e *Env) N() int { return e.n }
+
+// Round returns the round at which the node's next action will occur.
+// Node-local bookkeeping keeps this exact without any global clock:
+// Transmit and Listen each consume one round and Sleep(k) consumes k.
+func (e *Env) Round() uint64 { return e.round }
+
+// Rand returns the node's private random stream. Streams of distinct nodes
+// are independent and the whole run is reproducible from the engine seed.
+func (e *Env) Rand() *rand.Rand { return e.rand }
+
+// Energy returns the number of awake rounds the node has spent so far.
+func (e *Env) Energy() uint64 { return e.energy }
+
+// Transmit sends payload to all neighbors this round. The node is awake
+// (one unit of energy) and cannot listen in the same round; whether any
+// neighbor receives the message depends on the collisions at that neighbor.
+func (e *Env) Transmit(payload uint64) {
+	e.submit(intent{kind: intentTransmit, payload: payload})
+	e.round++
+	e.energy++
+}
+
+// TransmitBit transmits the 1-bit used by the unary algorithms ("beep").
+func (e *Env) TransmitBit() { e.Transmit(1) }
+
+// Listen spends this round listening and returns what was perceived under
+// the network's collision model. The node is awake (one unit of energy).
+func (e *Env) Listen() Reception {
+	e.submit(intent{kind: intentListen})
+	e.round++
+	e.energy++
+	select {
+	case r := <-e.replyCh:
+		return r
+	case <-e.kill:
+		panic(killedError{})
+	}
+}
+
+// Sleep puts the node to sleep for k rounds (no energy). k ≤ 0 is a no-op.
+func (e *Env) Sleep(k uint64) {
+	if k == 0 {
+		return
+	}
+	e.submit(intent{kind: intentSleep, sleep: k})
+	e.round += k
+}
+
+// SleepUntil sleeps until the given absolute round. If the target is not in
+// the future it is a no-op — this makes the "sleep until round …"
+// resynchronization lines of Algorithm 2 safe to call unconditionally.
+func (e *Env) SleepUntil(round uint64) {
+	if round > e.round {
+		e.Sleep(round - e.round)
+	}
+}
+
+func (e *Env) submit(it intent) {
+	select {
+	case e.intentCh <- it:
+	case <-e.kill:
+		panic(killedError{})
+	}
+}
+
+// intentKind enumerates the actions a node can submit for a round.
+type intentKind int
+
+const (
+	intentTransmit intentKind = iota + 1
+	intentListen
+	intentSleep
+	intentHalt
+)
+
+type intent struct {
+	kind    intentKind
+	payload uint64
+	sleep   uint64
+	result  int64
+}

@@ -1,0 +1,118 @@
+package radio
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CountingTracer accumulates aggregate statistics about a run: how many
+// rounds had activity, how many transmissions and listens occurred, and the
+// busiest round. It is safe for use by a single engine (the engine calls
+// tracers from one goroutine); Snapshot may be called after Run returns.
+type CountingTracer struct {
+	mu sync.Mutex
+
+	ActiveRounds  uint64
+	Transmissions uint64
+	Listens       uint64
+	Halts         int
+	BusiestRound  uint64
+	BusiestCount  int
+}
+
+var _ Tracer = (*CountingTracer)(nil)
+
+// RoundDone implements Tracer.
+func (t *CountingTracer) RoundDone(round uint64, transmitters, listeners []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ActiveRounds++
+	t.Transmissions += uint64(len(transmitters))
+	t.Listens += uint64(len(listeners))
+	if busy := len(transmitters) + len(listeners); busy > t.BusiestCount {
+		t.BusiestCount = busy
+		t.BusiestRound = round
+	}
+}
+
+// NodeHalted implements Tracer.
+func (t *CountingTracer) NodeHalted(int, int64, uint64, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Halts++
+}
+
+// WriterTracer logs every active round and every halt to w, for debugging
+// small runs. Do not use it on large simulations.
+type WriterTracer struct {
+	W io.Writer
+}
+
+var _ Tracer = (*WriterTracer)(nil)
+
+// RoundDone implements Tracer.
+func (t *WriterTracer) RoundDone(round uint64, transmitters, listeners []int) {
+	fmt.Fprintf(t.W, "round %6d  tx=%v rx=%v\n", round, transmitters, listeners)
+}
+
+// NodeHalted implements Tracer.
+func (t *WriterTracer) NodeHalted(id int, output int64, energy uint64, round uint64) {
+	fmt.Fprintf(t.W, "halt  %6d  node=%d output=%d energy=%d\n", round, id, output, energy)
+}
+
+// RecordingTracer captures the full awake schedule of a run: for every
+// active round, who transmitted and who listened. Intended for small runs
+// (memory grows with awake node-rounds); it powers timeline visualization
+// and schedule-level assertions in tests.
+type RecordingTracer struct {
+	// Events holds one entry per active round, in round order.
+	Events []RoundEvent
+	// HaltRound maps node ID → the round its program halted.
+	HaltRound map[int]uint64
+}
+
+// RoundEvent is one active round's awake sets.
+type RoundEvent struct {
+	Round        uint64
+	Transmitters []int
+	Listeners    []int
+}
+
+var _ Tracer = (*RecordingTracer)(nil)
+
+// RoundDone implements Tracer.
+func (t *RecordingTracer) RoundDone(round uint64, transmitters, listeners []int) {
+	t.Events = append(t.Events, RoundEvent{
+		Round:        round,
+		Transmitters: append([]int(nil), transmitters...),
+		Listeners:    append([]int(nil), listeners...),
+	})
+}
+
+// NodeHalted implements Tracer.
+func (t *RecordingTracer) NodeHalted(id int, _ int64, _ uint64, round uint64) {
+	if t.HaltRound == nil {
+		t.HaltRound = make(map[int]uint64)
+	}
+	t.HaltRound[id] = round
+}
+
+// MultiTracer fans events out to several tracers.
+type MultiTracer []Tracer
+
+var _ Tracer = (MultiTracer)(nil)
+
+// RoundDone implements Tracer.
+func (m MultiTracer) RoundDone(round uint64, transmitters, listeners []int) {
+	for _, t := range m {
+		t.RoundDone(round, transmitters, listeners)
+	}
+}
+
+// NodeHalted implements Tracer.
+func (m MultiTracer) NodeHalted(id int, output int64, energy uint64, round uint64) {
+	for _, t := range m {
+		t.NodeHalted(id, output, energy, round)
+	}
+}

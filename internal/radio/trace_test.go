@@ -1,0 +1,198 @@
+package radio
+
+import (
+	"testing"
+
+	"radiomis/internal/graph"
+)
+
+func TestRecordingTracerCapturesSchedule(t *testing.T) {
+	g := graph.Path(2)
+	rec := &RecordingTracer{}
+	_, err := Run(g, Config{Model: ModelCD, Seed: 1, Tracer: rec}, func(env *Env) int64 {
+		if env.ID() == 0 {
+			env.TransmitBit() // round 0
+			env.Sleep(2)
+			env.Listen() // round 3
+			return 0
+		}
+		env.Listen() // round 0
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("recorded %d active rounds, want 2", len(rec.Events))
+	}
+	ev0 := rec.Events[0]
+	if ev0.Round != 0 || len(ev0.Transmitters) != 1 || ev0.Transmitters[0] != 0 ||
+		len(ev0.Listeners) != 1 || ev0.Listeners[0] != 1 {
+		t.Errorf("round 0 event wrong: %+v", ev0)
+	}
+	ev1 := rec.Events[1]
+	if ev1.Round != 3 || len(ev1.Listeners) != 1 || ev1.Listeners[0] != 0 {
+		t.Errorf("round 3 event wrong: %+v", ev1)
+	}
+	if len(rec.HaltRound) != 2 {
+		t.Errorf("halt rounds recorded for %d nodes, want 2", len(rec.HaltRound))
+	}
+}
+
+func TestRecordingTracerEventsAreCopies(t *testing.T) {
+	// The engine reuses its transmitter/listener slices between rounds;
+	// the tracer must deep-copy them.
+	g := graph.Complete(3)
+	rec := &RecordingTracer{}
+	_, err := Run(g, Config{Model: ModelCD, Seed: 2, Tracer: rec}, func(env *Env) int64 {
+		for i := 0; i < 3; i++ {
+			if (env.ID()+i)%2 == 0 {
+				env.TransmitBit()
+			} else {
+				env.Listen()
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds alternate which IDs transmit; if slices aliased, every event
+	// would show the final round's sets.
+	if len(rec.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(rec.Events))
+	}
+	same := true
+	for _, ev := range rec.Events[1:] {
+		if len(ev.Transmitters) != len(rec.Events[0].Transmitters) {
+			same = false
+			break
+		}
+		for i := range ev.Transmitters {
+			if ev.Transmitters[i] != rec.Events[0].Transmitters[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("all events identical — tracer may be aliasing engine slices")
+	}
+}
+
+func TestConcurrentIndependentRuns(t *testing.T) {
+	// Two simultaneous engines must not interfere (no shared state).
+	g := graph.Complete(16)
+	prog := func(env *Env) int64 {
+		acc := int64(0)
+		for i := 0; i < 10; i++ {
+			if env.Rand().Int63()&1 == 1 {
+				env.TransmitBit()
+			} else {
+				acc = acc*7 + int64(env.Listen().Kind)
+			}
+		}
+		return acc
+	}
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, err := Run(g, Config{Model: ModelCD, Seed: 42}, prog)
+			ch <- out{res: res, err: err}
+		}()
+	}
+	a, b := <-ch, <-ch
+	if a.err != nil || b.err != nil {
+		t.Fatal(a.err, b.err)
+	}
+	for v := range a.res.Outputs {
+		if a.res.Outputs[v] != b.res.Outputs[v] {
+			t.Fatalf("concurrent runs with same seed diverged at node %d", v)
+		}
+	}
+}
+
+func TestPayloadIntegrityAcrossRounds(t *testing.T) {
+	// A stream of distinct payloads must arrive unmangled and in order.
+	g := graph.Path(2)
+	res, err := Run(g, Config{Model: ModelNoCD, Seed: 3}, func(env *Env) int64 {
+		if env.ID() == 0 {
+			for i := uint64(0); i < 20; i++ {
+				env.Transmit(i*i + 1)
+			}
+			return 0
+		}
+		acc := int64(0)
+		for i := uint64(0); i < 20; i++ {
+			r := env.Listen()
+			if r.Kind != MessageKind || r.Payload != i*i+1 {
+				return -int64(i) - 1
+			}
+			acc++
+		}
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != 20 {
+		t.Errorf("payload stream corrupted: code %d", res.Outputs[1])
+	}
+}
+
+func TestEnergyNeverExceedsActiveRounds(t *testing.T) {
+	g := graph.Complete(8)
+	tr := &CountingTracer{}
+	res, err := Run(g, Config{Model: ModelCD, Seed: 4, Tracer: tr}, func(env *Env) int64 {
+		for i := 0; i < 30; i++ {
+			switch env.Rand().Intn(3) {
+			case 0:
+				env.TransmitBit()
+			case 1:
+				env.Listen()
+			default:
+				env.Sleep(uint64(env.Rand().Intn(5) + 1))
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, e := range res.Energy {
+		if e > res.Rounds {
+			t.Errorf("node %d energy %d exceeds total rounds %d", v, e, res.Rounds)
+		}
+	}
+	if tr.Transmissions+tr.Listens != res.TotalEnergy() {
+		t.Errorf("tracer action count %d != total energy %d",
+			tr.Transmissions+tr.Listens, res.TotalEnergy())
+	}
+}
+
+func TestTracerRoundsMonotone(t *testing.T) {
+	g := graph.Complete(4)
+	rec := &RecordingTracer{}
+	_, err := Run(g, Config{Model: ModelCD, Seed: 5, Tracer: rec}, func(env *Env) int64 {
+		for i := 0; i < 10; i++ {
+			if env.Rand().Int63()&1 == 1 {
+				env.Listen()
+			} else {
+				env.Sleep(uint64(env.Rand().Intn(4) + 1))
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].Round <= rec.Events[i-1].Round {
+			t.Fatalf("event rounds not strictly increasing: %d then %d",
+				rec.Events[i-1].Round, rec.Events[i].Round)
+		}
+	}
+}

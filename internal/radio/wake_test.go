@@ -1,0 +1,108 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+
+	"radiomis/internal/graph"
+)
+
+func TestWakeRoundStaggersStart(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(g, Config{
+		Model:     ModelCD,
+		Seed:      1,
+		WakeRound: []uint64{0, 5},
+	}, func(env *Env) int64 {
+		start := env.Round()
+		env.Listen()
+		return int64(start)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 0 || res.Outputs[1] != 5 {
+		t.Errorf("start rounds = %v, want [0 5]", res.Outputs)
+	}
+}
+
+func TestWakeRoundDeliveryAcrossOffsets(t *testing.T) {
+	// Node 1 wakes at round 3 and transmits immediately; node 0 listens
+	// from round 0 and should hear it at round 3.
+	g := graph.Path(2)
+	res, err := Run(g, Config{
+		Model:     ModelNoCD,
+		Seed:      2,
+		WakeRound: []uint64{0, 3},
+	}, func(env *Env) int64 {
+		if env.ID() == 1 {
+			env.Transmit(9)
+			return 0
+		}
+		for i := 0; i < 5; i++ {
+			if r := env.Listen(); r.Kind == MessageKind {
+				return int64(env.Round()) // round after reception
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 4 {
+		t.Errorf("reception round+1 = %d, want 4", res.Outputs[0])
+	}
+}
+
+func TestWakeRoundLengthValidated(t *testing.T) {
+	g := graph.Path(3)
+	_, err := Run(g, Config{Model: ModelCD, Seed: 1, WakeRound: []uint64{0}}, func(env *Env) int64 {
+		return 0
+	})
+	if err == nil {
+		t.Error("mismatched WakeRound length accepted")
+	}
+}
+
+func TestWakeRoundNilIsSynchronous(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(g, Config{Model: ModelCD, Seed: 1}, func(env *Env) int64 {
+		return int64(env.Round())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if out != 0 {
+			t.Errorf("node %d started at round %d, want 0", v, out)
+		}
+	}
+}
+
+func TestUnaryOnlyRejectsPayloads(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, Config{Model: ModelCD, Seed: 1, UnaryOnly: true}, func(env *Env) int64 {
+		env.Transmit(42)
+		return 0
+	})
+	if !errors.Is(err, ErrNotUnary) {
+		t.Fatalf("err = %v, want ErrNotUnary", err)
+	}
+}
+
+func TestUnaryOnlyAcceptsBits(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(g, Config{Model: ModelCD, Seed: 1, UnaryOnly: true}, func(env *Env) int64 {
+		if env.ID() == 0 {
+			env.TransmitBit()
+			return 0
+		}
+		return int64(env.Listen().Kind)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Kind(res.Outputs[1]) != MessageKind {
+		t.Error("unary transmission lost")
+	}
+}

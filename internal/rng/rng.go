@@ -1,0 +1,99 @@
+// Package rng provides deterministic, splittable randomness for the
+// simulator. Every node in a simulated radio network owns a private random
+// stream derived from a single run seed and the node's ID, so whole runs are
+// reproducible from one integer while streams of distinct nodes remain
+// statistically independent.
+//
+// The derivation uses SplitMix64 (Steele, Lea, Flood 2014), the standard
+// generator for seeding other generators: it passes BigCrush, has a full
+// 2^64 period, and two streams seeded from different SplitMix64 outputs are
+// effectively uncorrelated.
+package rng
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// SplitMix64 advances the given state by one step and returns the next
+// 64-bit output. It is the canonical mixing function used for seed
+// derivation.
+func SplitMix64(state uint64) (next uint64, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return state, z
+}
+
+// Mix returns a well-scrambled 64-bit value deterministically derived from
+// the pair (seed, stream). It is used to give every (run, node) pair its own
+// independent seed.
+func Mix(seed, stream uint64) uint64 {
+	// Feed both words through two rounds of SplitMix64 so that related
+	// inputs (e.g. consecutive node IDs) map to unrelated outputs.
+	s := seed ^ bits.RotateLeft64(stream, 32) ^ 0xd1b54a32d192ed03
+	s, a := SplitMix64(s)
+	s ^= stream * 0x9e3779b97f4a7c15
+	_, b := SplitMix64(s)
+	return a ^ bits.RotateLeft64(b, 17)
+}
+
+// New returns a deterministic *rand.Rand for the given seed.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// ForNode returns the private random stream of node id under the given run
+// seed. Distinct (seed, id) pairs yield independent streams.
+func ForNode(seed uint64, id int) *rand.Rand {
+	return New(Mix(seed, uint64(id)))
+}
+
+// Geometric samples from the geometric distribution with success parameter
+// p in (0, 1]: the number of Bernoulli(p) trials up to and including the
+// first success. The minimum return value is 1.
+func Geometric(r *rand.Rand, p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	n := 1
+	for r.Float64() >= p {
+		n++
+	}
+	return n
+}
+
+// GeometricHalf samples a geometric variate with parameter 1/2 using single
+// coin flips (the distribution used by Snd-EBackoff in the paper).
+func GeometricHalf(r *rand.Rand) int {
+	n := 1
+	for r.Int63()&1 == 0 {
+		n++
+	}
+	return n
+}
+
+// Bits returns a uniformly random bit string of length n, most significant
+// bit first. It is the competition rank used by the MIS algorithms.
+func Bits(r *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	var buf uint64
+	var left int
+	for i := range out {
+		if left == 0 {
+			buf = r.Uint64()
+			left = 64
+		}
+		out[i] = buf&1 == 1
+		buf >>= 1
+		left--
+	}
+	return out
+}
+
+// Bool returns a fair coin flip.
+func Bool(r *rand.Rand) bool {
+	return r.Int63()&1 == 1
+}

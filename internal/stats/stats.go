@@ -1,0 +1,171 @@
+// Package stats provides the summary statistics and curve-fitting helpers
+// used by the experiment harness: means, quantiles, and least-squares fits
+// against the logarithmic growth models the paper's complexity bounds
+// predict.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	s.P90 = Quantile(xs, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using linear
+// interpolation between order statistics. It returns 0 for empty samples.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum (0 for an empty sample).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with its coefficient
+// of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y ≈ a·x + b by ordinary least squares. It requires at
+// least two points with distinct x values.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: need ≥ 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: all x values equal")
+	}
+	slope := sxy / sxx
+	f := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		f.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		f.R2 = 1 // constant y is fit perfectly by slope ≈ 0
+	}
+	return f, nil
+}
+
+// GrowthExponent estimates k in y ∝ (log₂ x)^k by regressing
+// log y on log log₂ x — the diagnostic for polylogarithmic complexity
+// claims (k ≈ 1 for O(log n), k ≈ 2 for O(log² n), …). All inputs must be
+// positive and xs must exceed 2 so the inner logarithm is positive.
+func GrowthExponent(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 2 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: GrowthExponent needs xs > 2 and ys > 0 (got x=%v y=%v)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(math.Log2(xs[i]))
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Ratio returns b/a, or 0 when a is 0 — a convenience for comparison
+// tables.
+func Ratio(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return b / a
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary nonzero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary wrong: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 10},
+		{q: 1, want: 40},
+		{q: 0.5, want: 25},
+		{q: -0.5, want: 10},
+		{q: 2, want: 40},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Max([]float64{2, 9, 4}) != 9 {
+		t.Error("Max wrong")
+	}
+	if Max(nil) != 0 {
+		t.Error("Max(nil) should be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("accepted constant x")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 0, 1e-12) || !almostEqual(f.R2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %+v", f)
+	}
+}
+
+func TestGrowthExponentRecoversPower(t *testing.T) {
+	// y = (log₂ n)^k exactly: the estimator must recover k.
+	for _, k := range []float64{1, 2, 3} {
+		var xs, ys []float64
+		for _, n := range []float64{64, 256, 1024, 4096, 16384} {
+			xs = append(xs, n)
+			ys = append(ys, math.Pow(math.Log2(n), k))
+		}
+		f, err := GrowthExponent(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(f.Slope, k, 1e-9) {
+			t.Errorf("exponent for k=%v recovered as %v", k, f.Slope)
+		}
+	}
+}
+
+func TestGrowthExponentSeparatesLinearFromLog(t *testing.T) {
+	// y = n grows much faster than any polylog: fitted exponent should be
+	// large (log n / log log n ≈ 8+ over this range), clearly above 3.
+	var xs, ys []float64
+	for _, n := range []float64{64, 256, 1024, 4096} {
+		xs = append(xs, n)
+		ys = append(ys, n)
+	}
+	f, err := GrowthExponent(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope < 3 {
+		t.Errorf("linear growth fitted exponent %v; want ≫ polylog exponents", f.Slope)
+	}
+}
+
+func TestGrowthExponentValidation(t *testing.T) {
+	if _, err := GrowthExponent([]float64{2, 4}, []float64{1, 1}); err == nil {
+		t.Error("accepted x ≤ 2")
+	}
+	if _, err := GrowthExponent([]float64{4, 8}, []float64{0, 1}); err == nil {
+		t.Error("accepted y ≤ 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(2, 6) != 3 {
+		t.Error("Ratio wrong")
+	}
+	if Ratio(0, 6) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+}
+
+func TestQuantileQuickWithinRange(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(raw, q)
+		lo, hi := raw[0], raw[0]
+		for _, x := range raw {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeQuickMeanWithinRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

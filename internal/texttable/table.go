@@ -1,0 +1,105 @@
+// Package texttable renders aligned plain-text tables — the output format
+// of the benchmark suite, mirroring how the paper's claims are tabulated in
+// EXPERIMENTS.md.
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New returns a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v. Rows shorter than the
+// header are padded with empty cells, longer ones are truncated.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = formatCell(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return trimFloat(x)
+	case float32:
+		return trimFloat(float64(x))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// trimFloat renders floats compactly: integers without decimals, otherwise
+// three significant decimals.
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.3f", f)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	rules := make([]string, len(t.header))
+	for i := range rules {
+		rules[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rules)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb) // strings.Builder writes cannot fail
+	return sb.String()
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}

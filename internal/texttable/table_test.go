@@ -1,0 +1,65 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("n", "energy", "note")
+	tb.AddRow(64, 123.5, "ok")
+	tb.AddRow(4096, 7, "longer note")
+	got := tb.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d, want 4:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "n  ") {
+		t.Errorf("header misaligned: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("missing rule line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "123.500") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "4096") || !strings.Contains(lines[3], "longer note") {
+		t.Errorf("row content wrong: %q", lines[3])
+	}
+}
+
+func TestIntegerFloatsRenderedWithoutDecimals(t *testing.T) {
+	tb := New("x")
+	tb.AddRow(float64(42))
+	if !strings.Contains(tb.String(), "42\n") {
+		t.Errorf("integer float rendered badly:\n%s", tb.String())
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow(1)          // short: padded
+	tb.AddRow(1, 2, 3, 4) // long: truncated
+	got := tb.String()
+	if strings.Contains(got, "3") || strings.Contains(got, "4") {
+		t.Errorf("extra cells leaked:\n%s", got)
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	tb := New("col", "other")
+	tb.AddRow("x", "y")
+	for _, line := range strings.Split(tb.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing space on %q", line)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("only")
+	got := tb.String()
+	if !strings.HasPrefix(got, "only\n") {
+		t.Errorf("empty table rendering:\n%s", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package radiomis is an implementation of "Energy-Efficient Maximal
+// Independent Sets in Radio Networks" (Banasik, Dani, Dufoulon, Gupta,
+// Hayes, Pandurangan — PODC 2025): distributed MIS algorithms for
+// synchronous radio networks under the sleeping energy model, together
+// with the radio-network simulator, the backoff primitives, the baselines
+// the paper compares against, and the Theorem 1 lower-bound apparatus.
+//
+// The package is a facade over the internal implementation; it is all a
+// typical user needs:
+//
+//	g := radiomis.GNP(1024, 8.0/1024, 7)           // arbitrary topology
+//	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
+//	res, err := radiomis.SolveCD(g, p, 42)          // Algorithm 1
+//	if err != nil { ... }
+//	fmt.Println(res.MaxEnergy(), res.Rounds)        // O(log n), O(log² n)
+//	if err := res.Check(g); err != nil { ... }      // verify the MIS
+//
+// Solvers:
+//
+//   - SolveCD / SolveBeep — Algorithm 1 (CD model, energy-optimal
+//     O(log n); identical program in the beeping model).
+//   - SolveNoCD — Algorithms 2+3 (no-CD model, O(log² n log log n)
+//     energy).
+//   - SolveLowDegree — the Davies-style §4.2 baseline
+//     (O(log² n log Δ) rounds and energy).
+//   - SolveNaiveCD / SolveNaiveNoCD — the straightforward baselines the
+//     paper's algorithms improve on.
+//   - SolveUnknownDelta — the §1.1 extension for unknown maximum degree.
+//
+// All runs are deterministic in (graph, params, seed).
+package radiomis
+
+import (
+	"math/rand"
+
+	"radiomis/internal/backbone"
+	"radiomis/internal/congest"
+	"radiomis/internal/graph"
+	"radiomis/internal/leader"
+	"radiomis/internal/mis"
+	"radiomis/internal/rng"
+)
+
+// Re-exported core types. Graph is a simple undirected graph on vertices
+// 0..n-1; Params carries the shared knowledge (n and Δ bounds) and the
+// algorithm constants; Result is a run's outcome with per-node statuses
+// and energies.
+type (
+	// Graph is an undirected radio network topology.
+	Graph = graph.Graph
+	// Params configures the algorithms (shared bounds and constants).
+	Params = mis.Params
+	// Result is a distributed MIS run's outcome.
+	Result = mis.Result
+	// Status is a node's final verdict.
+	Status = mis.Status
+)
+
+// Node verdicts.
+const (
+	StatusUndecided = mis.StatusUndecided
+	StatusInMIS     = mis.StatusInMIS
+	StatusOutMIS    = mis.StatusOutMIS
+)
+
+// NewGraph returns an edgeless graph on n vertices; add edges with
+// (*Graph).AddEdge.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Path returns the n-vertex path.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid2D(rows, cols) }
+
+// GNP returns an Erdős–Rényi G(n, p) graph drawn deterministically from
+// seed.
+func GNP(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+// UnitDisk places n nodes uniformly in the unit square, connecting pairs
+// within radius — the classical ad-hoc sensor network. It returns the
+// graph and the node coordinates.
+func UnitDisk(n int, radius float64, seed uint64) (*Graph, [][2]float64) {
+	return graph.UnitDisk(n, radius, rng.New(seed))
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices.
+func RandomTree(n int, seed uint64) *Graph {
+	return graph.RandomTree(n, rng.New(seed))
+}
+
+// DefaultParams returns practical algorithm constants for a network of at
+// most n nodes with maximum degree at most delta.
+func DefaultParams(n, delta int) Params { return mis.ParamsDefault(n, delta) }
+
+// PaperParams returns the conservative constants for which the paper
+// proves its 1 − 1/poly(n) guarantees (slow; see Params documentation).
+func PaperParams(n, delta int) Params { return mis.ParamsPaper(n, delta) }
+
+// SolveCD runs Algorithm 1 (energy-optimal MIS, CD model) on g.
+func SolveCD(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveCD(g, p, seed)
+}
+
+// SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1).
+func SolveBeep(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveBeep(g, p, seed)
+}
+
+// SolveNoCD runs Algorithm 2 (energy-efficient MIS, no-CD model) on g.
+func SolveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveNoCD(g, p, seed)
+}
+
+// SolveLowDegree runs the round-improved Davies-style MIS of §4.2 on g in
+// the no-CD model (the best-known-prior baseline).
+func SolveLowDegree(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveLowDegree(g, p, seed)
+}
+
+// SolveNaiveCD runs the straightforward Luby baseline in the CD model
+// (O(log² n) energy).
+func SolveNaiveCD(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveNaiveCD(g, p, seed)
+}
+
+// SolveNaiveNoCD runs the naive backoff simulation of Algorithm 1 in the
+// no-CD model (O(log⁴ n) worst-case energy).
+func SolveNaiveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveNaiveNoCD(g, p, seed)
+}
+
+// SolveUnknownDelta runs the §1.1 unknown-Δ wrapper in the no-CD model.
+func SolveUnknownDelta(g *Graph, p Params, seed uint64) (*Result, error) {
+	return mis.SolveUnknownDelta(g, p, seed)
+}
+
+// CongestResult is the outcome of a sleeping-CONGEST run (§1.4's
+// collision-free contrast model).
+type CongestResult = congest.LubyResult
+
+// SolveCongestLuby runs classical Luby MIS in the SLEEPING-CONGEST model
+// (§1.4): collision-free message passing with the sleeping energy measure.
+// Its awake complexity — O(log n) worst case, O(1) node-averaged — is the
+// baseline the radio model's energy results are contrasted against.
+func SolveCongestLuby(g *Graph, seed uint64) (*CongestResult, error) {
+	return congest.SolveLuby(g, seed)
+}
+
+// Backbone types re-exported for the application layer (§1's motivating
+// use of an MIS: the communication backbone).
+type (
+	// Backbone is the MIS-derived cluster/CDS structure.
+	Backbone = backbone.Backbone
+	// Coloring is a distance-2 TDMA coloring of backbone members.
+	Coloring = backbone.Coloring
+	// BroadcastResult is the outcome of a network-wide broadcast.
+	BroadcastResult = backbone.BroadcastResult
+)
+
+// BuildBackbone constructs the clusterhead/connector backbone (a connected
+// dominating set) from a maximal independent set of g.
+func BuildBackbone(g *Graph, inMIS []bool) (*Backbone, error) {
+	return backbone.Build(g, inMIS)
+}
+
+// ColorBackbone distance-2 colors the backbone members, yielding a
+// collision-free TDMA schedule.
+func ColorBackbone(g *Graph, b *Backbone) *Coloring {
+	return backbone.ColorBackbone(g, b)
+}
+
+// Broadcast floods payload from source over the backbone's collision-free
+// schedule in the no-CD radio model.
+func Broadcast(g *Graph, b *Backbone, c *Coloring, source int, payload uint64, maxFrames int, seed uint64) (*BroadcastResult, error) {
+	return backbone.Broadcast(g, b, c, source, payload, maxFrames, seed)
+}
+
+// NaiveFlood is the always-awake flooding baseline Broadcast is measured
+// against.
+func NaiveFlood(g *Graph, source int, payload uint64, ttl int, seed uint64) (*BroadcastResult, error) {
+	return backbone.NaiveFlood(g, source, payload, ttl, seed)
+}
+
+// CoordinatorResult is the outcome of a backbone coordinator election.
+type CoordinatorResult = backbone.CoordinatorResult
+
+// ElectCoordinator elects one coordinator per connected component by
+// max-rank flooding over the backbone's TDMA schedule — the multi-hop
+// leader election the MIS backbone enables.
+func ElectCoordinator(g *Graph, b *Backbone, c *Coloring, frames int, seed uint64) (*CoordinatorResult, error) {
+	return backbone.ElectCoordinator(g, b, c, frames, seed)
+}
+
+// LeaderResult is the outcome of a single-hop leader election.
+type LeaderResult = leader.Result
+
+// ElectLeader runs energy-efficient leader election on a single-hop radio
+// network of n ≥ 2 nodes in the CD model (O(log n) energy and rounds) —
+// the companion primitive from the literature the sleeping energy model
+// originated in.
+func ElectLeader(n int, seed uint64) (*LeaderResult, error) {
+	return leader.Elect(n, seed)
+}
+
+// CheckMIS verifies that the set (inSet[v] ⇔ v ∈ S) is a maximal
+// independent set of g, returning a descriptive error otherwise.
+func CheckMIS(g *Graph, inSet []bool) error { return graph.CheckMIS(g, inSet) }
+
+// GreedyMIS returns the deterministic sequential reference MIS.
+func GreedyMIS(g *Graph) []bool { return graph.GreedyMIS(g) }
+
+// LubyMIS runs the classical centralized Luby algorithm as a reference,
+// returning the computed MIS.
+func LubyMIS(g *Graph, seed uint64) []bool {
+	set, _ := graph.LubySequential(g, rand.New(rand.NewSource(int64(seed))))
+	return set
+}
