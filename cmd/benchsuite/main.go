@@ -8,11 +8,17 @@
 //	benchsuite              # run everything at full scale
 //	benchsuite -quick       # smoke-test scale
 //	benchsuite -e E2,E5     # selected experiments
+//	benchsuite -json out.json  # also write a machine-readable report ("-" = stdout)
+//
+// The -json report follows the stable experiments.SchemaVersion layout:
+// every experiment's tables plus its metric summaries
+// (count/mean/std/min/max/median/p90 per (series, x, metric) point).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,18 +27,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	var (
-		only  = fs.String("e", "", "comma-separated experiment IDs (default: all)")
-		quick = fs.Bool("quick", false, "smoke-test scale")
-		seed  = fs.Uint64("seed", 1, "suite seed")
+		only     = fs.String("e", "", "comma-separated experiment IDs (default: all)")
+		quick    = fs.Bool("quick", false, "smoke-test scale")
+		seed     = fs.Uint64("seed", 1, "suite seed")
+		jsonPath = fs.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,15 +58,46 @@ func run(args []string) error {
 		}
 	}
 
+	// When the JSON report goes to stdout, route the human-readable tables
+	// to stderr so the JSON stays parseable.
+	tablesOut := stdout
+	if *jsonPath == "-" {
+		tablesOut = os.Stderr
+	}
+
+	jr := experiments.NewJSONReport(cfg)
 	for _, def := range defs {
 		start := time.Now()
 		rep, err := def.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", def.ID, err)
 		}
-		fmt.Println(strings.Repeat("=", 78))
-		fmt.Print(rep)
-		fmt.Printf("(%s in %v)\n\n", def.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		jr.Add(rep, elapsed)
+		fmt.Fprintln(tablesOut, strings.Repeat("=", 78))
+		fmt.Fprint(tablesOut, rep)
+		fmt.Fprintf(tablesOut, "(%s in %v)\n\n", def.ID, elapsed.Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(jr, *jsonPath, stdout); err != nil {
+			return fmt.Errorf("writing json report: %w", err)
+		}
 	}
 	return nil
+}
+
+func writeJSON(jr *experiments.JSONReport, path string, stdout io.Writer) error {
+	if path == "-" {
+		return jr.Write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := jr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

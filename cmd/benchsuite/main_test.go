@@ -1,21 +1,141 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"radiomis/internal/experiments"
+)
 
 func TestRunSelectedQuick(t *testing.T) {
-	if err := run([]string{"-quick", "-e", "E4"}); err != nil {
+	if err := run([]string{"-quick", "-e", "E4"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-e", "E99"}); err == nil {
+	if err := run([]string{"-e", "E99"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestJSONReportSchema runs a quick subset of the suite with -json and
+// checks the emitted report against the stable schema: typed round-trip,
+// schema version, and per-experiment metric summaries.
+func TestJSONReportSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-quick", "-seed", "7", "-e", "E2,E8", "-json", path}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+
+	var jr experiments.JSONReport
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if jr.Schema != experiments.SchemaVersion {
+		t.Fatalf("schema = %q, want %q", jr.Schema, experiments.SchemaVersion)
+	}
+	if jr.Seed != 7 || !jr.Quick {
+		t.Errorf("config echo: seed=%d quick=%v, want seed=7 quick=true", jr.Seed, jr.Quick)
+	}
+	if got, want := len(jr.Experiments), 2; got != want {
+		t.Fatalf("experiments = %d, want %d", got, want)
+	}
+	for i, id := range []string{"E2", "E8"} {
+		exp := jr.Experiments[i]
+		if exp.ID != id {
+			t.Errorf("experiment %d: id = %q, want %q", i, exp.ID, id)
+		}
+		if exp.Title == "" || exp.Claim == "" {
+			t.Errorf("%s: empty title or claim", id)
+		}
+		if len(exp.Tables) == 0 {
+			t.Errorf("%s: no tables", id)
+		}
+		for _, tab := range exp.Tables {
+			if len(tab.Header) == 0 {
+				t.Errorf("%s: table without header", id)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("%s: row width %d != header width %d", id, len(row), len(tab.Header))
+				}
+			}
+		}
+		if len(exp.Metrics) == 0 {
+			t.Errorf("%s: no metric summaries", id)
+		}
+		for _, m := range exp.Metrics {
+			if m.Series == "" || m.Metric == "" {
+				t.Errorf("%s: metric point missing series/metric: %+v", id, m)
+			}
+			if m.Summary.Count <= 0 {
+				t.Errorf("%s: %s/%s summary count = %d, want > 0", id, m.Series, m.Metric, m.Summary.Count)
+			}
+			if m.Summary.Min > m.Summary.Max {
+				t.Errorf("%s: %s/%s min %v > max %v", id, m.Series, m.Metric, m.Summary.Min, m.Summary.Max)
+			}
+		}
+	}
+
+	// Field-name stability: the documented keys must appear verbatim; a
+	// renamed json tag is a schema break even if the typed round-trip works.
+	var loose map[string]any
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		t.Fatalf("re-unmarshal: %v", err)
+	}
+	for _, key := range []string{"schema", "seed", "quick", "experiments"} {
+		if _, ok := loose[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	exp0 := loose["experiments"].([]any)[0].(map[string]any)
+	for _, key := range []string{"id", "title", "claim", "durationMs", "tables", "metrics"} {
+		if _, ok := exp0[key]; !ok {
+			t.Errorf("experiment key %q missing", key)
+		}
+	}
+	met0 := exp0["metrics"].([]any)[0].(map[string]any)
+	for _, key := range []string{"series", "x", "metric", "summary"} {
+		if _, ok := met0[key]; !ok {
+			t.Errorf("metric key %q missing", key)
+		}
+	}
+	sum0 := met0["summary"].(map[string]any)
+	for _, key := range []string{"count", "mean", "std", "min", "max", "median", "p90"} {
+		if _, ok := sum0[key]; !ok {
+			t.Errorf("summary key %q missing", key)
+		}
+	}
+}
+
+// TestJSONToStdout checks that -json - writes the report (and only the
+// report) to stdout, with tables diverted to stderr.
+func TestJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-e", "E8", "-json", "-"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var jr experiments.JSONReport
+	if err := json.Unmarshal(out.Bytes(), &jr); err != nil {
+		t.Fatalf("stdout is not a pure JSON report: %v", err)
+	}
+	if len(jr.Experiments) != 1 || jr.Experiments[0].ID != "E8" {
+		t.Fatalf("unexpected experiments in report: %+v", jr.Experiments)
 	}
 }

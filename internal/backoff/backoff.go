@@ -24,6 +24,25 @@ import (
 	"radiomis/internal/rng"
 )
 
+// claimPhase labels the node's awake actions with name for the duration of
+// a primitive, but only when the caller has not already set a phase of its
+// own — the innermost unclaimed span wins, so e.g. Algorithm 2's
+// "competition" label is not overwritten by the backoffs it is built from.
+// It returns the label to restore via restorePhase on exit.
+func claimPhase(env *radio.Env, name string) (prev string) {
+	prev = env.PhaseLabel()
+	if prev == "" {
+		env.Phase(name)
+	}
+	return prev
+}
+
+func restorePhase(env *radio.Env, prev string) {
+	if prev == "" {
+		env.Phase("")
+	}
+}
+
 // Slots returns the number of slots per backoff iteration: ⌈log₂ Δ⌉,
 // clamped to at least 2 whenever collisions are possible (Δ ≥ 2). The
 // clamp matters: Lemma 9's analysis needs the first slot's transmission
@@ -53,6 +72,7 @@ func Rounds(k, delta int) uint64 {
 // (the final slot absorbing the tail), transmits payload in that slot, and
 // sleeps through all other slots. Total awake rounds: exactly k.
 func Send(env *radio.Env, k, delta int, payload uint64) {
+	defer restorePhase(env, claimPhase(env, "snd-ebackoff"))
 	slots := Slots(delta)
 	for i := 0; i < k; i++ {
 		x := rng.GeometricHalf(env.Rand())
@@ -77,6 +97,7 @@ func Receive(env *radio.Env, k, delta, deltaEst int) bool {
 // ReceivePayload is Receive but also returns the payload of the first
 // message heard (0 when nothing was heard).
 func ReceivePayload(env *radio.Env, k, delta, deltaEst int) (uint64, bool) {
+	defer restorePhase(env, claimPhase(env, "rec-ebackoff"))
 	if deltaEst <= 0 || deltaEst > delta {
 		deltaEst = delta
 	}
@@ -109,6 +130,7 @@ func ReceivePayload(env *radio.Env, k, delta, deltaEst int) (uint64, bool) {
 // exists for the ablation experiments (E10); the energy difference against
 // Receive is the saving §4.1 attributes to early sleeping.
 func ReceiveNoEarlySleep(env *radio.Env, k, delta, deltaEst int) bool {
+	defer restorePhase(env, claimPhase(env, "rec-ebackoff"))
 	if deltaEst <= 0 || deltaEst > delta {
 		deltaEst = delta
 	}
@@ -141,6 +163,7 @@ func Idle(env *radio.Env, k, delta int) {
 // awake listening in all other slots. Energy: all k·Slots(Δ) rounds. Used
 // as the baseline that Snd-EBackoff improves on.
 func DecaySend(env *radio.Env, k, delta int, payload uint64) {
+	defer restorePhase(env, claimPhase(env, "decay-send"))
 	slots := Slots(delta)
 	for i := 0; i < k; i++ {
 		x := rng.GeometricHalf(env.Rand())
@@ -161,6 +184,7 @@ func DecaySend(env *radio.Env, k, delta int, payload uint64) {
 // of every iteration (energy k·Slots(Δ)) and reports whether any message
 // was heard.
 func DecayReceive(env *radio.Env, k, delta int) bool {
+	defer restorePhase(env, claimPhase(env, "decay-receive"))
 	slots := Slots(delta)
 	heard := false
 	for i := 0; i < k; i++ {

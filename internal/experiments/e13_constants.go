@@ -29,6 +29,17 @@ func E13Constants(cfg Config) (*Report, error) {
 	}
 	t := trials(cfg, 5, 20)
 
+	report := &Report{
+		ID:    "E13",
+		Title: "constants sensitivity: where the failure cliffs sit",
+		Claim: "β, C, C′ control distinct 1/poly(n) failure modes (rank ties, phase exhaustion, missed detections); the defaults sit clear of all three cliffs",
+		Notes: []string{
+			"tiny β → dependent sets (rank collisions); tiny C → undecided nodes; tiny C′ → missed deep checks in the no-CD algorithm",
+			"failure rates must be ≈ 0 at the right end of every sweep (the default constants)",
+			"measured: the no-CD algorithm tolerates surprisingly small C′ at this scale — a missed check in one phase is usually caught by a later phase's checks; the C′ bound matters for the one-shot w.h.p. guarantee, not typical behaviour",
+		},
+	}
+
 	beta := texttable.New("β", "cd failure rate", "failure kind")
 	for _, b := range []float64{0.25, 0.5, 1, 3} {
 		fails, kind, err := cdFailureRate(cfg, n, t, func(p *mis.Params) { p.Beta = b })
@@ -36,6 +47,7 @@ func E13Constants(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("experiments: e13 beta=%v: %w", b, err)
 		}
 		beta.AddRow(b, fails, kind)
+		report.AddValue("constants/beta", b, "cdFailureRate", fails)
 	}
 
 	c := texttable.New("C", "cd failure rate", "failure kind")
@@ -45,6 +57,7 @@ func E13Constants(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("experiments: e13 C=%v: %w", cc, err)
 		}
 		c.AddRow(cc, fails, kind)
+		report.AddValue("constants/c", cc, "cdFailureRate", fails)
 	}
 
 	cprime := texttable.New("C′", "no-cd failure rate")
@@ -65,19 +78,11 @@ func E13Constants(cfg Config) (*Report, error) {
 			}
 		}
 		cprime.AddRow(cp, float64(fails)/float64(nocdTrials))
+		report.AddValue("constants/cprime", cp, "nocdFailureRate", float64(fails)/float64(nocdTrials))
 	}
 
-	return &Report{
-		ID:     "E13",
-		Title:  "constants sensitivity: where the failure cliffs sit",
-		Claim:  "β, C, C′ control distinct 1/poly(n) failure modes (rank ties, phase exhaustion, missed detections); the defaults sit clear of all three cliffs",
-		Tables: []*texttable.Table{beta, c, cprime},
-		Notes: []string{
-			"tiny β → dependent sets (rank collisions); tiny C → undecided nodes; tiny C′ → missed deep checks in the no-CD algorithm",
-			"failure rates must be ≈ 0 at the right end of every sweep (the default constants)",
-			"measured: the no-CD algorithm tolerates surprisingly small C′ at this scale — a missed check in one phase is usually caught by a later phase's checks; the C′ bound matters for the one-shot w.h.p. guarantee, not typical behaviour",
-		},
-	}, nil
+	report.Tables = []*texttable.Table{beta, c, cprime}
+	return report, nil
 }
 
 // cdFailureRate runs the CD algorithm with modified params and classifies

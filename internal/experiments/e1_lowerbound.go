@@ -44,6 +44,10 @@ func E1LowerBound(cfg Config) (*Report, error) {
 				return nil, fmt.Errorf("experiments: e1 truncated n=%d b=%d: %w", n, b, err)
 			}
 			table.AddRow(n, b, threshold, lowerbound.AnalyticBound(n, b), obl, trunc)
+			series := fmt.Sprintf("lowerbound/n=%d", n)
+			report.AddValue(series, float64(b), "analyticBound", lowerbound.AnalyticBound(n, b))
+			report.AddValue(series, float64(b), "obliviousFail", obl)
+			report.AddValue(series, float64(b), "truncatedCDFail", trunc)
 		}
 	}
 	report.Tables = append(report.Tables, table)

@@ -69,6 +69,7 @@ func E2CDScaling(cfg Config) (*Report, error) {
 		Claim:  "Algorithm 1 (CD): energy O(log n), rounds O(log² n), success ≥ 1 − 1/n",
 		Tables: []*texttable.Table{table},
 	}
+	report.AddSeries("cd/gnp", series)
 	if fit, err := series.GrowthExponent("maxEnergy", "max"); err == nil {
 		report.Notes = append(report.Notes, fmt.Sprintf(
 			"fitted energy growth exponent k in maxEnergy ∝ (log n)^k: %.2f (theory: 1, R²=%.3f)", fit.Slope, fit.R2))

@@ -99,7 +99,7 @@ func E3Residual(cfg Config) (*Report, error) {
 		prevAlgo, prevLuby = ma, ml
 	}
 
-	return &Report{
+	report := &Report{
 		ID:     "E3",
 		Title:  "Lemma 5: residual edges halve per Luby phase",
 		Claim:  "E[|E_i| given E_{i−1}] ≤ |E_{i−1}|/2 for Algorithm 1's residual graphs (Lemma 5)",
@@ -108,5 +108,11 @@ func E3Residual(cfg Config) (*Report, error) {
 			fmt.Sprintf("worst early-phase mean shrink ratio: %.3f (theory: ≤ 0.5 in expectation)", worstRatio),
 			"algorithm-1 ratios should track the classical Luby reference (its winners are a superset of local maxima)",
 		},
-	}, nil
+	}
+	report.AddSample("residual/initial", 0, "edges", initial)
+	for i := 0; i < reportPhases; i++ {
+		report.AddSample("residual/algo1", float64(i+1), "edges", algoEdges[i])
+		report.AddSample("residual/luby", float64(i+1), "edges", lubyEdges[i])
+	}
+	return report, nil
 }

@@ -19,6 +19,16 @@ func E4Backoff(cfg Config) (*Report, error) {
 	const delta = 64
 	t := trials(cfg, 60, 400)
 
+	report := &Report{
+		ID:    "E4",
+		Title: "Lemmas 8–9: backoff budgets and success probability",
+		Claim: "Snd-EBackoff awake exactly k rounds; Rec-EBackoff hears a sender w.p. ≥ 1 − (7/8)^k (Lemmas 8–9)",
+		Notes: []string{
+			"sender energy must equal k exactly; receiver energy with no sender equals the full budget",
+			"measured failure rates must sit at or below the (7/8)^k bound for every sender count ≤ Δ",
+		},
+	}
+
 	budget := texttable.New("k", "Δ", "rounds T_B", "sender energy", "receiver energy (no sender)")
 	for _, k := range []int{1, 4, 16, 64} {
 		senderEnergy, receiverEnergy, rounds, err := backoffBudgets(cfg.Seed, k, delta)
@@ -26,6 +36,9 @@ func E4Backoff(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("experiments: e4 budgets k=%d: %w", k, err)
 		}
 		budget.AddRow(k, delta, rounds, senderEnergy, receiverEnergy)
+		report.AddValue("backoff/budget", float64(k), "rounds", float64(rounds))
+		report.AddValue("backoff/budget", float64(k), "senderEnergy", float64(senderEnergy))
+		report.AddValue("backoff/budget", float64(k), "receiverEnergy", float64(receiverEnergy))
 	}
 
 	success := texttable.New("k", "senders", "measured fail", "bound (7/8)^k")
@@ -42,19 +55,14 @@ func E4Backoff(cfg Config) (*Report, error) {
 				}
 			}
 			success.AddRow(k, senders, float64(fails)/float64(t), math.Pow(7.0/8.0, float64(k)))
+			series := fmt.Sprintf("backoff/fail/senders=%d", senders)
+			report.AddValue(series, float64(k), "measuredFail", float64(fails)/float64(t))
+			report.AddValue(series, float64(k), "bound", math.Pow(7.0/8.0, float64(k)))
 		}
 	}
 
-	return &Report{
-		ID:     "E4",
-		Title:  "Lemmas 8–9: backoff budgets and success probability",
-		Claim:  "Snd-EBackoff awake exactly k rounds; Rec-EBackoff hears a sender w.p. ≥ 1 − (7/8)^k (Lemmas 8–9)",
-		Tables: []*texttable.Table{budget, success},
-		Notes: []string{
-			"sender energy must equal k exactly; receiver energy with no sender equals the full budget",
-			"measured failure rates must sit at or below the (7/8)^k bound for every sender count ≤ Δ",
-		},
-	}, nil
+	report.Tables = []*texttable.Table{budget, success}
+	return report, nil
 }
 
 // backoffBudgets measures exact budgets on a 2-node graph with a silent

@@ -42,6 +42,7 @@ func E5NoCDScaling(cfg Config) (*Report, error) {
 		Claim:  "Algorithm 2 (no-CD): energy O(log² n · log log n), rounds O(log³ n · log Δ), success ≥ 1 − 1/n",
 		Tables: []*texttable.Table{table},
 	}
+	report.AddSeries("nocd/gnp", series)
 	if fit, err := series.GrowthExponent("maxEnergy", "max"); err == nil {
 		report.Notes = append(report.Notes, fmt.Sprintf(
 			"fitted energy growth exponent k in maxEnergy ∝ (log n)^k: %.2f (theory: ≈ 2 + o(1), R²=%.3f)", fit.Slope, fit.R2))

@@ -20,6 +20,15 @@ func E8Beeping(cfg Config) (*Report, error) {
 		n = 96
 	}
 
+	report := &Report{
+		ID:    "E8",
+		Title: "§3.1: Algorithm 1 runs unchanged in the beeping model",
+		Claim: "replacing 'transmit 1' with 'beep' and 'heard 1 or collision' with 'heard a beep' preserves behaviour, rounds, and energy",
+		Notes: []string{
+			"identical-decision and identical-energy counts must equal the run count: the programs are bit-for-bit equivalent under the two models",
+		},
+	}
+
 	table := texttable.New("family", "n", "runs", "identical decisions", "identical energy", "cd maxE", "beep maxE", "both valid")
 	for _, fam := range []graph.Family{graph.FamilyGNP, graph.FamilyGrid} {
 		var identDecisions, identEnergy, bothValid int
@@ -62,15 +71,14 @@ func E8Beeping(cfg Config) (*Report, error) {
 			}
 		}
 		table.AddRow(fam.String(), n, t, identDecisions, identEnergy, cdMax, beepMax, bothValid)
+		series := "beeping/" + fam.String()
+		report.AddValue(series, float64(n), "identicalDecisionRate", float64(identDecisions)/float64(t))
+		report.AddValue(series, float64(n), "identicalEnergyRate", float64(identEnergy)/float64(t))
+		report.AddValue(series, float64(n), "bothValidRate", float64(bothValid)/float64(t))
+		report.AddValue(series, float64(n), "cdMaxEnergy", float64(cdMax))
+		report.AddValue(series, float64(n), "beepMaxEnergy", float64(beepMax))
 	}
 
-	return &Report{
-		ID:     "E8",
-		Title:  "§3.1: Algorithm 1 runs unchanged in the beeping model",
-		Claim:  "replacing 'transmit 1' with 'beep' and 'heard 1 or collision' with 'heard a beep' preserves behaviour, rounds, and energy",
-		Tables: []*texttable.Table{table},
-		Notes: []string{
-			"identical-decision and identical-energy counts must equal the run count: the programs are bit-for-bit equivalent under the two models",
-		},
-	}, nil
+	report.Tables = []*texttable.Table{table}
+	return report, nil
 }

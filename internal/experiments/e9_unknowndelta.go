@@ -17,7 +17,18 @@ func E9UnknownDelta(cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{48}, []int{48, 96, 192})
 	t := trials(cfg, 2, 5)
 
+	report := &Report{
+		ID:    "E9",
+		Title: "§1.1: unknown-Δ guessing overhead",
+		Claim: "guessing Δ = 2^(2^i) costs O(log log n)× energy and O(1)× rounds versus the known-Δ run",
+		Notes: []string{
+			"the round-budget ratio must stay bounded by a small constant (the 2^(2^i) budgets form a dominated series)",
+			"the energy ratio should stay within a small factor that grows (at most) with the number of guesses, i.e. log log Δ",
+		},
+	}
+
 	table := texttable.New("n", "Δ", "guesses", "known maxE", "unknown maxE", "energy ratio", "round budget ratio", "success")
+	report.Tables = []*texttable.Table{table}
 	for _, n := range ns {
 		var knownE, unknownE, successes []float64
 		var guessCount int
@@ -51,18 +62,14 @@ func E9UnknownDelta(cfg Config) (*Report, error) {
 			stats.Max(knownE), stats.Max(unknownE),
 			stats.Ratio(stats.Max(knownE), stats.Max(unknownE)),
 			roundRatio, stats.Mean(successes))
+		report.AddSample("unknowndelta/known", float64(n), "maxEnergy", knownE)
+		report.AddSample("unknowndelta/unknown", float64(n), "maxEnergy", unknownE)
+		report.AddSample("unknowndelta/unknown", float64(n), "success", successes)
+		report.AddValue("unknowndelta/unknown", float64(n), "roundBudgetRatio", roundRatio)
+		report.AddValue("unknowndelta/unknown", float64(n), "guesses", float64(guessCount))
 	}
 
-	return &Report{
-		ID:     "E9",
-		Title:  "§1.1: unknown-Δ guessing overhead",
-		Claim:  "guessing Δ = 2^(2^i) costs O(log log n)× energy and O(1)× rounds versus the known-Δ run",
-		Tables: []*texttable.Table{table},
-		Notes: []string{
-			"the round-budget ratio must stay bounded by a small constant (the 2^(2^i) budgets form a dominated series)",
-			"the energy ratio should stay within a small factor that grows (at most) with the number of guesses, i.e. log log Δ",
-		},
-	}, nil
+	return report, nil
 }
 
 func maxOf(a, b int) int {

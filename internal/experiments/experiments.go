@@ -34,6 +34,9 @@ type Report struct {
 	Tables []*texttable.Table
 	// Notes carries derived observations (fits, ratios, verdicts).
 	Notes []string
+	// Metrics holds the machine-readable measurements behind the tables,
+	// serialized by benchsuite -json (see metrics.go and json.go).
+	Metrics []MetricPoint
 }
 
 // String renders the report for terminal output.

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"radiomis/internal/texttable"
+)
+
+// SchemaVersion identifies the benchsuite JSON report layout. Bump it on
+// any backwards-incompatible change to the types below.
+const SchemaVersion = "radiomis.benchsuite/v1"
+
+// JSONReport is the machine-readable output of a benchsuite run: the suite
+// configuration plus one entry per executed experiment.
+type JSONReport struct {
+	Schema      string           `json:"schema"`
+	Seed        uint64           `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// JSONExperiment serializes one experiment's report.
+type JSONExperiment struct {
+	ID         string        `json:"id"`
+	Title      string        `json:"title"`
+	Claim      string        `json:"claim"`
+	Notes      []string      `json:"notes,omitempty"`
+	DurationMS int64         `json:"durationMs"`
+	Tables     []JSONTable   `json:"tables"`
+	Metrics    []MetricPoint `json:"metrics"`
+}
+
+// JSONTable serializes a rendered table's cells.
+type JSONTable struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// NewJSONReport returns an empty report for the given suite configuration.
+func NewJSONReport(cfg Config) *JSONReport {
+	return &JSONReport{Schema: SchemaVersion, Seed: cfg.Seed, Quick: cfg.Quick}
+}
+
+// Add appends one experiment's report with its wall-clock duration.
+func (jr *JSONReport) Add(rep *Report, elapsed time.Duration) {
+	exp := JSONExperiment{
+		ID:         rep.ID,
+		Title:      rep.Title,
+		Claim:      rep.Claim,
+		Notes:      rep.Notes,
+		DurationMS: elapsed.Milliseconds(),
+		Tables:     make([]JSONTable, 0, len(rep.Tables)),
+		Metrics:    rep.Metrics,
+	}
+	if exp.Metrics == nil {
+		exp.Metrics = []MetricPoint{}
+	}
+	for _, t := range rep.Tables {
+		exp.Tables = append(exp.Tables, jsonTable(t))
+	}
+	jr.Experiments = append(jr.Experiments, exp)
+}
+
+func jsonTable(t *texttable.Table) JSONTable {
+	jt := JSONTable{Header: t.Header(), Rows: t.Rows()}
+	if jt.Header == nil {
+		jt.Header = []string{}
+	}
+	if jt.Rows == nil {
+		jt.Rows = [][]string{}
+	}
+	return jt
+}
+
+// Write serializes the report as indented JSON.
+func (jr *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"radiomis/internal/harness"
+	"radiomis/internal/stats"
+)
+
+// MetricPoint is one machine-readable measurement of an experiment: the
+// summary statistics of a named metric at one x-position of a named series.
+// The (series, x, metric) triple identifies the point; series and metric
+// names are stable across releases so downstream tooling can key on them.
+type MetricPoint struct {
+	// Series names the curve or condition the point belongs to (e.g.
+	// "cd/gnp", "ablation/no-commit"). One experiment may emit several.
+	Series string `json:"series"`
+	// X is the sweep position — typically the network size n; 0 when the
+	// series has no axis.
+	X float64 `json:"x"`
+	// Metric is the measurement name (e.g. "maxEnergy", "rounds").
+	Metric string `json:"metric"`
+	// Summary holds the across-trials statistics of the measurement.
+	Summary stats.Summary `json:"summary"`
+}
+
+// AddSeries records every metric of every point of a harness sweep under
+// the given series label.
+func (r *Report) AddSeries(series string, s harness.Series) {
+	for _, pt := range s {
+		r.AddAggregate(series, pt.X, pt.Agg)
+	}
+}
+
+// AddAggregate records every metric of one aggregated trial batch at
+// position x.
+func (r *Report) AddAggregate(series string, x float64, agg *harness.Aggregate) {
+	for _, name := range agg.Names() {
+		r.Metrics = append(r.Metrics, MetricPoint{
+			Series: series, X: x, Metric: name, Summary: agg.Summary(name),
+		})
+	}
+}
+
+// AddSample records the summary of a raw sample.
+func (r *Report) AddSample(series string, x float64, metric string, sample []float64) {
+	r.Metrics = append(r.Metrics, MetricPoint{
+		Series: series, X: x, Metric: metric, Summary: stats.Summarize(sample),
+	})
+}
+
+// AddValue records a single scalar measurement (a sample of size one).
+func (r *Report) AddValue(series string, x float64, metric string, v float64) {
+	r.AddSample(series, x, metric, []float64{v})
+}

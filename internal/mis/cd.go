@@ -24,11 +24,16 @@ import (
 //
 // Only the presence of transmissions matters (unary communication), which
 // is why the identical program also runs in the beeping model.
+//
+// The program labels its awake actions with the phases "competition" (the
+// bit loop) and "check" (the confirmation round) via Env.Phase, so an
+// attached Observer can attribute every unit of energy.
 func CDProgram(p Params) radio.Program {
 	l := p.LubyPhases()
 	b := p.RankBits()
 	return func(env *radio.Env) int64 {
 		for i := 0; i < l; i++ {
+			env.Phase("competition")
 			won := true
 			for j := 0; j < b; j++ {
 				if rng.Bool(env.Rand()) {
@@ -43,6 +48,7 @@ func CDProgram(p Params) radio.Program {
 					break
 				}
 			}
+			env.Phase("check")
 			if won {
 				env.TransmitBit() // confirm inclusion to all neighbors
 				return int64(StatusInMIS)

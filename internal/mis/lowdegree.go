@@ -60,6 +60,12 @@ func LowDegreeRounds(p Params, dHat int) uint64 {
 // Non-participants must sleep LowDegreeRounds(p, dHat) instead of calling
 // it. It consumes exactly that many rounds.
 func lowDegreeMIS(env *radio.Env, p Params, dHat int) Status {
+	// Label the span for Observer attribution unless the caller (Algorithm
+	// 2) already did; inner backoffs see the label set and leave it alone.
+	if env.PhaseLabel() == "" {
+		env.Phase("low-degree")
+		defer env.Phase("")
+	}
 	d := lowDegreeEffectiveDegree(dHat)
 	slots := backoff.Slots(d)
 	phases := p.ghaffariPhaseCount()

@@ -70,6 +70,11 @@ func NoCDRoundBudget(p Params) uint64 {
 // (a single backoff iteration) at the end of the phase, giving it a
 // constant probability per phase of discovering an MIS neighbor. MIS
 // members never terminate: they keep announcing in every later phase.
+//
+// The program labels its awake actions via Env.Phase — "competition",
+// "deep-check", "announce", "low-degree", and "shallow-check" — so an
+// attached Observer can attribute every unit of energy to the segment that
+// spent it (the streaming, per-node generalization of EnergyBreakdown).
 func NoCDProgram(p Params) radio.Program {
 	return func(env *radio.Env) int64 {
 		return runNoCD(env, p, compUndecided, nil)
@@ -129,6 +134,11 @@ func SolveNoCDBreakdown(g *graph.Graph, p Params, seed uint64) (*Result, *Energy
 // the unknown-Δ wrapper chain attempts back to back. It returns the node's
 // verdict.
 func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBreakdown) int64 {
+	// Restore the caller's phase label on exit so the labels set per segment
+	// below don't leak into whatever the caller (e.g. the unknown-Δ
+	// wrapper's verification windows) does next.
+	prevPhase := env.PhaseLabel()
+	defer env.Phase(prevPhase)
 	// charge attributes the energy spent since the last checkpoint to the
 	// given per-node counter. Each node only ever writes its own index, so
 	// the collector needs no locking.
@@ -175,6 +185,7 @@ func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBrea
 		if status == compInMIS {
 			env.SleepUntil(base + budget.tc)
 		} else {
+			env.Phase("competition")
 			status = competition(env, p, b, k, delta, dHat)
 		}
 		charge(cComp)
@@ -183,8 +194,10 @@ func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBrea
 		// winners check for MIS neighbors they could conflict with.
 		switch status {
 		case compInMIS:
+			env.Phase("announce")
 			backoff.Send(env, k, delta, 1)
 		case compWin:
+			env.Phase("deep-check")
 			if receive(env, p, k, delta, 0) {
 				return finish(StatusOutMIS) // dominated: stop early
 			}
@@ -199,13 +212,16 @@ func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBrea
 		endSeg3 := base + budget.tc + 2*budget.tb + budget.tg
 		switch status {
 		case compInMIS:
+			env.Phase("announce")
 			backoff.Send(env, k, delta, 1)
 			env.SleepUntil(endSeg3)
 		case compCommit:
+			env.Phase("deep-check")
 			if receive(env, p, k, delta, 0) {
 				return finish(StatusOutMIS) // dominated: stop early
 			}
 			charge(cChecks)
+			env.Phase("low-degree")
 			verdict := lowDegreeMIS(env, p, dHat)
 			charge(cLow)
 			switch verdict {
@@ -233,8 +249,10 @@ func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBrea
 				status = compUndecided
 			}
 		case status == compInMIS:
+			env.Phase("announce")
 			backoff.Send(env, ks, delta, 1)
 		default:
+			env.Phase("shallow-check")
 			if receive(env, p, ks, delta, 0) {
 				return finish(StatusOutMIS)
 			}
@@ -260,6 +278,12 @@ func runNoCD(env *radio.Env, p Params, initial compStatus, breakdown *EnergyBrea
 // committing loses and sleeps out the competition; a node that hears
 // nothing at all wins.
 func competition(env *radio.Env, p Params, b, k, delta, dHat int) compStatus {
+	// Label the span for Observer attribution unless the caller already did
+	// (Algorithm 2 sets "competition" itself; RunCompetitionOnce does not).
+	if env.PhaseLabel() == "" {
+		env.Phase("competition")
+		defer env.Phase("")
+	}
 	var (
 		st    = compUndecided
 		dEst  = delta

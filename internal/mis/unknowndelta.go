@@ -106,6 +106,7 @@ func UnknownDeltaProgram(p Params) radio.Program {
 
 			// Independence window.
 			if verdict == StatusInMIS {
+				env.Phase("verify-independence")
 				if exchangeMarked(env, k, slots) {
 					verdict = StatusUndecided // violation: retry
 					env.Sleep(windowRounds)   // sit out the domination window
@@ -118,14 +119,17 @@ func UnknownDeltaProgram(p Params) radio.Program {
 			// Domination window.
 			switch verdict {
 			case StatusInMIS:
+				env.Phase("verify-domination")
 				backoff.Send(env, k, guess, 1)
 			case StatusOutMIS:
+				env.Phase("verify-domination")
 				if !backoff.Receive(env, k, guess, 0) {
 					verdict = StatusUndecided // uncovered: retry
 				}
 			default:
 				env.Sleep(windowRounds)
 			}
+			env.Phase("")
 		}
 		return int64(verdict)
 	}

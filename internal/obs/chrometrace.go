@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"radiomis/internal/radio"
+)
+
+// ChromeTracer streams a run in the Chrome trace-event format (the JSON
+// array flavor) so it can be inspected visually in chrome://tracing or
+// https://ui.perfetto.dev: one track (tid) per node, one 1-"µs" duration
+// event per awake action at ts = round, named after the node's phase label
+// (or the bare action when unlabeled), plus an instant event when the node
+// halts. Close terminates the array and flushes; without it the file is
+// truncated (though both viewers tolerate a missing "]").
+//
+// Write errors are sticky: the first one is retained, later events are
+// dropped, and Close reports it.
+type ChromeTracer struct {
+	bw    *bufio.Writer
+	err   error
+	wrote bool // at least one event emitted (controls comma placement)
+}
+
+var _ radio.Observer = (*ChromeTracer)(nil)
+
+// NewChromeTracer returns a tracer streaming trace events to w.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	c := &ChromeTracer{bw: bufio.NewWriter(w)}
+	_, c.err = c.bw.WriteString("[")
+	return c
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func (c *ChromeTracer) emit(ev *chromeEvent) {
+	if c.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if c.wrote {
+		if _, c.err = c.bw.WriteString(",\n"); c.err != nil {
+			return
+		}
+	} else {
+		if _, c.err = c.bw.WriteString("\n"); c.err != nil {
+			return
+		}
+	}
+	if _, c.err = c.bw.Write(b); c.err != nil {
+		return
+	}
+	c.wrote = true
+}
+
+func eventName(phase, action string) string {
+	if phase != "" {
+		return phase
+	}
+	return action
+}
+
+// ObserveRound implements radio.Observer.
+func (c *ChromeTracer) ObserveRound(s *radio.RoundStats) {
+	for _, tx := range s.Transmitters {
+		c.emit(&chromeEvent{
+			Name:  eventName(tx.Phase, "transmit"),
+			Phase: "X",
+			Ts:    s.Round,
+			Dur:   1,
+			Tid:   tx.ID,
+			Args:  map[string]any{"action": "transmit", "payload": tx.Payload},
+		})
+	}
+	for _, rx := range s.Listeners {
+		c.emit(&chromeEvent{
+			Name:  eventName(rx.Phase, "listen"),
+			Phase: "X",
+			Ts:    s.Round,
+			Dur:   1,
+			Tid:   rx.ID,
+			Args: map[string]any{
+				"action":      "listen",
+				"outcome":     rx.Outcome.String(),
+				"txNeighbors": rx.TxNeighbors,
+			},
+		})
+	}
+}
+
+// ObserveHalt implements radio.Observer.
+func (c *ChromeTracer) ObserveHalt(id int, output int64, energy uint64, round uint64) {
+	c.emit(&chromeEvent{
+		Name:  "halt",
+		Phase: "i",
+		Ts:    round,
+		Tid:   id,
+		Scope: "t",
+		Args:  map[string]any{"output": output, "energy": energy},
+	})
+}
+
+// Close terminates the JSON array, flushes the buffer, and returns the
+// first error encountered, if any.
+func (c *ChromeTracer) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if _, c.err = c.bw.WriteString("\n]\n"); c.err != nil {
+		return c.err
+	}
+	c.err = c.bw.Flush()
+	return c.err
+}

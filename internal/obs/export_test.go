@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+func TestJSONLWriterStreamsValidLines(t *testing.T) {
+	g := graph.Star(3)
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: 1, Observer: w}, pingPong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var rounds, halts int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev struct {
+			Ev    string `json:"ev"`
+			Round uint64 `json:"round"`
+			Tx    []struct {
+				ID      int    `json:"id"`
+				Phase   string `json:"phase"`
+				Payload uint64 `json:"payload"`
+			} `json:"tx"`
+			Rx []struct {
+				ID          int    `json:"id"`
+				Phase       string `json:"phase"`
+				TxNeighbors int    `json:"txNeighbors"`
+				Outcome     string `json:"outcome"`
+			} `json:"rx"`
+			Successes  int `json:"successes"`
+			Collisions int `json:"collisions"`
+			Silences   int `json:"silences"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		switch ev.Ev {
+		case "round":
+			rounds++
+			if ev.Successes+ev.Collisions+ev.Silences != len(ev.Rx) {
+				t.Errorf("round %d: outcome counts don't sum to listeners", ev.Round)
+			}
+			for _, rx := range ev.Rx {
+				if rx.Outcome == "" {
+					t.Errorf("round %d: listener %d has empty outcome", ev.Round, rx.ID)
+				}
+			}
+		case "halt":
+			halts++
+		default:
+			t.Errorf("unknown event type %q", ev.Ev)
+		}
+	}
+	if rounds != 2 || halts != 3 {
+		t.Errorf("saw %d rounds and %d halts, want 2 and 3", rounds, halts)
+	}
+}
+
+func TestJSONLWriterCarriesPhases(t *testing.T) {
+	g := graph.Path(2)
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: w}, func(env *radio.Env) int64 {
+		env.Phase("probe")
+		if env.ID() == 0 {
+			env.TransmitBit()
+		} else {
+			env.Listen()
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"phase":"probe"`)) {
+		t.Errorf("phase label missing from JSONL output:\n%s", buf.String())
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLWriterStickyError(t *testing.T) {
+	g := graph.Complete(4)
+	w := NewJSONLWriter(&failAfter{n: 16})
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: w}, func(env *radio.Env) int64 {
+		for i := 0; i < 200; i++ {
+			env.Listen()
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Flush() == nil {
+		t.Error("Flush did not report the write error")
+	}
+	if w.Err() == nil {
+		t.Error("Err did not retain the write error")
+	}
+}
+
+func TestChromeTracerEmitsValidTrace(t *testing.T) {
+	g := graph.Star(3)
+	var buf bytes.Buffer
+	c := NewChromeTracer(&buf)
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: c}, pingPong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		Ts    uint64         `json:"ts"`
+		Dur   uint64         `json:"dur"`
+		Pid   int            `json:"pid"`
+		Tid   int            `json:"tid"`
+		Args  map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a valid JSON array: %v\n%s", err, buf.String())
+	}
+	// 6 awake actions (3 nodes × 2 rounds) + 3 halt instants.
+	var durs, instants int
+	for _, ev := range events {
+		switch ev.Phase {
+		case "X":
+			durs++
+			if ev.Dur != 1 {
+				t.Errorf("duration event %q has dur %d, want 1", ev.Name, ev.Dur)
+			}
+			if ev.Name != "rx" && ev.Name != "tx" {
+				t.Errorf("event named %q, want the phase label rx or tx", ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.Name != "halt" {
+				t.Errorf("instant event named %q, want halt", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Phase)
+		}
+		if ev.Tid < 0 || ev.Tid >= g.N() {
+			t.Errorf("event tid %d out of node range", ev.Tid)
+		}
+	}
+	if durs != 6 || instants != 3 {
+		t.Errorf("saw %d duration and %d instant events, want 6 and 3", durs, instants)
+	}
+}
+
+func TestChromeTracerUnlabeledFallsBackToAction(t *testing.T) {
+	g := graph.Path(2)
+	var buf bytes.Buffer
+	c := NewChromeTracer(&buf)
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: c}, func(env *radio.Env) int64 {
+		if env.ID() == 0 {
+			env.TransmitBit()
+		} else {
+			env.Listen()
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name":"transmit"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"name":"listen"`)) {
+		t.Errorf("unlabeled actions not named after the action:\n%s", buf.String())
+	}
+}
+
+func TestChromeTracerStickyError(t *testing.T) {
+	c := NewChromeTracer(&failAfter{n: 4})
+	s := &radio.RoundStats{Round: 0, Transmitters: []radio.NodeTx{{ID: 0, Payload: 1}}}
+	for i := 0; i < 500; i++ {
+		c.ObserveRound(s)
+	}
+	if c.Close() == nil {
+		t.Error("Close did not report the write error")
+	}
+}

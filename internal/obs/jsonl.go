@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"radiomis/internal/radio"
+)
+
+// JSONL event shapes. Every line is one self-contained JSON object with an
+// "ev" discriminator: "round" or "halt".
+type jsonlTx struct {
+	ID      int    `json:"id"`
+	Phase   string `json:"phase,omitempty"`
+	Payload uint64 `json:"payload"`
+}
+
+type jsonlRx struct {
+	ID          int    `json:"id"`
+	Phase       string `json:"phase,omitempty"`
+	TxNeighbors int    `json:"txNeighbors"`
+	Outcome     string `json:"outcome"`
+}
+
+type jsonlRound struct {
+	Ev         string    `json:"ev"`
+	Round      uint64    `json:"round"`
+	Tx         []jsonlTx `json:"tx"`
+	Rx         []jsonlRx `json:"rx"`
+	Successes  int       `json:"successes"`
+	Collisions int       `json:"collisions"`
+	Silences   int       `json:"silences"`
+}
+
+type jsonlHalt struct {
+	Ev     string `json:"ev"`
+	ID     int    `json:"id"`
+	Output int64  `json:"output"`
+	Energy uint64 `json:"energy"`
+	Round  uint64 `json:"round"`
+}
+
+// JSONLWriter streams a run as JSON Lines: one "round" object per active
+// round and one "halt" object per node termination. The stream is buffered;
+// call Flush when the run ends. Write errors are sticky — the first one is
+// retained and reported by Flush/Err, and later events are dropped.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+	// reused event buffers
+	round jsonlRound
+}
+
+var _ radio.Observer = (*JSONLWriter)(nil)
+
+// NewJSONLWriter returns a writer streaming events to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// ObserveRound implements radio.Observer.
+func (j *JSONLWriter) ObserveRound(s *radio.RoundStats) {
+	if j.err != nil {
+		return
+	}
+	ev := &j.round
+	*ev = jsonlRound{
+		Ev:         "round",
+		Round:      s.Round,
+		Tx:         ev.Tx[:0],
+		Rx:         ev.Rx[:0],
+		Successes:  s.Successes,
+		Collisions: s.Collisions,
+		Silences:   s.Silences,
+	}
+	for _, tx := range s.Transmitters {
+		ev.Tx = append(ev.Tx, jsonlTx{ID: tx.ID, Phase: tx.Phase, Payload: tx.Payload})
+	}
+	for _, rx := range s.Listeners {
+		ev.Rx = append(ev.Rx, jsonlRx{
+			ID:          rx.ID,
+			Phase:       rx.Phase,
+			TxNeighbors: rx.TxNeighbors,
+			Outcome:     rx.Outcome.String(),
+		})
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// ObserveHalt implements radio.Observer.
+func (j *JSONLWriter) ObserveHalt(id int, output int64, energy uint64, round uint64) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonlHalt{Ev: "halt", ID: id, Output: output, Energy: energy, Round: round})
+}
+
+// Flush drains the buffer and returns the first error encountered, if any.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// Err returns the first write or encode error, if any.
+func (j *JSONLWriter) Err() error { return j.err }

@@ -1,0 +1,48 @@
+// Package obs provides the structured observability layer on top of the
+// radio engine's Observer interface: streaming aggregators that attribute
+// energy and collisions to algorithm phases with bounded memory, and
+// exporters that stream a run as JSONL events or as a Chrome trace-event
+// file (load it in chrome://tracing or https://ui.perfetto.dev) for visual
+// timeline inspection.
+//
+// Everything here consumes radio.RoundStats; attach any combination of
+// aggregators and exporters to a run via radio.Config.Observer (use
+// radio.MultiObserver for several at once). The aggregators retain
+// per-(phase, node) counters only — never per-event history — so they are
+// safe on runs of any length.
+package obs
+
+import "radiomis/internal/radio"
+
+// Counter accumulates run-wide totals of awake actions and reception
+// outcomes — the cheapest possible summary of where collisions happened.
+type Counter struct {
+	// Rounds counts observed (active) rounds.
+	Rounds uint64
+	// Transmits and Listens count awake actions across all nodes.
+	Transmits uint64
+	Listens   uint64
+	// Successes, Collisions, and Silences classify every listen by the
+	// physical number of transmitting neighbors (1, ≥2, 0 respectively).
+	// Their sum equals Listens.
+	Successes  uint64
+	Collisions uint64
+	Silences   uint64
+	// Halts counts node program terminations.
+	Halts int
+}
+
+var _ radio.Observer = (*Counter)(nil)
+
+// ObserveRound implements radio.Observer.
+func (c *Counter) ObserveRound(s *radio.RoundStats) {
+	c.Rounds++
+	c.Transmits += uint64(len(s.Transmitters))
+	c.Listens += uint64(len(s.Listeners))
+	c.Successes += uint64(s.Successes)
+	c.Collisions += uint64(s.Collisions)
+	c.Silences += uint64(s.Silences)
+}
+
+// ObserveHalt implements radio.Observer.
+func (c *Counter) ObserveHalt(int, int64, uint64, uint64) { c.Halts++ }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+)
+
+// pingPong is a two-phase toy program on a star: the hub listens in phase
+// "rx" while leaves transmit in phase "tx", then everyone flips.
+func pingPong(env *radio.Env) int64 {
+	if env.ID() == 0 {
+		env.Phase("rx")
+		env.Listen()
+		env.Phase("tx")
+		env.TransmitBit()
+		return 0
+	}
+	env.Phase("tx")
+	env.TransmitBit()
+	env.Phase("rx")
+	env.Listen()
+	return 0
+}
+
+func TestCounterTotals(t *testing.T) {
+	g := graph.Star(4) // 4 nodes: hub 0 with 3 leaves
+	c := &Counter{}
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: c}, pingPong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", c.Rounds)
+	}
+	if c.Transmits != 4 || c.Listens != 4 {
+		t.Errorf("Transmits/Listens = %d/%d, want 4/4", c.Transmits, c.Listens)
+	}
+	if c.Transmits+c.Listens != res.TotalEnergy() {
+		t.Errorf("counter actions %d != total energy %d", c.Transmits+c.Listens, res.TotalEnergy())
+	}
+	if c.Successes+c.Collisions+c.Silences != c.Listens {
+		t.Errorf("outcome classes %d+%d+%d don't sum to listens %d",
+			c.Successes, c.Collisions, c.Silences, c.Listens)
+	}
+	// Round 0: hub hears 3 leaves (collision). Round 1: each leaf hears
+	// only the hub (success).
+	if c.Collisions != 1 || c.Successes != 3 {
+		t.Errorf("collisions/successes = %d/%d, want 1/3", c.Collisions, c.Successes)
+	}
+	if c.Halts != 4 {
+		t.Errorf("Halts = %d, want 4", c.Halts)
+	}
+}
+
+func TestPhaseBreakdownAttributesPingPong(t *testing.T) {
+	g := graph.Star(3)
+	b := NewPhaseBreakdown(g.N())
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: b}, pingPong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := b.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("saw %d phases, want 2 (rx, tx)", len(phases))
+	}
+	rx, tx := b.Phase("rx"), b.Phase("tx")
+	if rx == nil || tx == nil {
+		t.Fatal("missing rx or tx phase")
+	}
+	for id := 0; id < g.N(); id++ {
+		if rx.Listens[id] != 1 || rx.Transmits[id] != 0 {
+			t.Errorf("node %d rx: listens=%d transmits=%d, want 1/0", id, rx.Listens[id], rx.Transmits[id])
+		}
+		if tx.Transmits[id] != 1 || tx.Listens[id] != 0 {
+			t.Errorf("node %d tx: transmits=%d listens=%d, want 1/0", id, tx.Transmits[id], tx.Listens[id])
+		}
+		if got := b.NodeEnergy(id); got != res.Energy[id] {
+			t.Errorf("node %d attributed energy %d != actual %d", id, got, res.Energy[id])
+		}
+	}
+	// The hub's one listen collides (both leaves transmit); the leaves'
+	// listens succeed.
+	if rx.Collisions[0] != 1 {
+		t.Errorf("hub rx collisions = %d, want 1", rx.Collisions[0])
+	}
+	if rx.TotalCollisions() != 1 {
+		t.Errorf("total collisions = %d, want 1", rx.TotalCollisions())
+	}
+	if tx.TotalAwake() != uint64(g.N()) || rx.TotalAwake() != uint64(g.N()) {
+		t.Errorf("per-phase awake totals = %d/%d, want %d each",
+			tx.TotalAwake(), rx.TotalAwake(), g.N())
+	}
+	if b.Halts != g.N() {
+		t.Errorf("Halts = %d, want %d", b.Halts, g.N())
+	}
+}
+
+func TestPhaseBreakdownUnlabeledActionsLandInEmptyPhase(t *testing.T) {
+	g := graph.Path(2)
+	b := NewPhaseBreakdown(g.N())
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: b}, func(env *radio.Env) int64 {
+		env.Listen() // no Phase call: attributed to ""
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Phase("")
+	if p == nil || p.TotalListens() != 2 {
+		t.Fatalf("unlabeled listens not attributed to the empty phase: %+v", p)
+	}
+}
+
+func TestPhaseBreakdownFirstSeenOrder(t *testing.T) {
+	g := graph.New(1)
+	b := NewPhaseBreakdown(1)
+	_, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: b}, func(env *radio.Env) int64 {
+		for _, name := range []string{"c", "a", "b", "a"} {
+			env.Phase(name)
+			env.Listen()
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range b.Phases() {
+		got = append(got, p.Name)
+	}
+	want := []string{"c", "a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("phases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phases = %v, want %v (first-seen order)", got, want)
+		}
+	}
+	if b.Phase("a").Awake[0] != 2 {
+		t.Errorf("phase a awake = %d, want 2", b.Phase("a").Awake[0])
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "radiomis/internal/radio"
+
+// PhaseStats holds the per-node counters accumulated for one phase label.
+// Slices are indexed by node ID.
+type PhaseStats struct {
+	// Name is the phase label as set via Env.Phase; actions taken with no
+	// label appear under "".
+	Name string
+	// Awake counts awake rounds (transmits + listens) each node spent in
+	// this phase — the phase's share of the node's energy.
+	Awake []uint64
+	// Transmits and Listens split Awake by action.
+	Transmits []uint64
+	Listens   []uint64
+	// Collisions counts listens during which ≥ 2 neighbors transmitted
+	// (the physical count, even under models that mask collisions).
+	Collisions []uint64
+}
+
+// TotalAwake sums Awake over all nodes.
+func (p *PhaseStats) TotalAwake() uint64 { return sum(p.Awake) }
+
+// TotalCollisions sums Collisions over all nodes.
+func (p *PhaseStats) TotalCollisions() uint64 { return sum(p.Collisions) }
+
+// TotalTransmits sums Transmits over all nodes.
+func (p *PhaseStats) TotalTransmits() uint64 { return sum(p.Transmits) }
+
+// TotalListens sums Listens over all nodes.
+func (p *PhaseStats) TotalListens() uint64 { return sum(p.Listens) }
+
+func sum(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// PhaseBreakdown attributes every awake action of a run to the phase label
+// the acting node had set, per (phase, node). It aggregates streamingly —
+// memory is O(phases × nodes) regardless of run length — so it is safe to
+// attach to arbitrarily long simulations.
+//
+// For every node, the Awake counts summed across all phases equal the
+// node's Result.Energy exactly: each unit of energy is one transmit or
+// listen, and each is attributed to exactly one phase.
+type PhaseBreakdown struct {
+	n      int
+	order  []*PhaseStats
+	byName map[string]*PhaseStats
+	// Halts counts node program terminations observed.
+	Halts int
+}
+
+var _ radio.Observer = (*PhaseBreakdown)(nil)
+
+// NewPhaseBreakdown returns a breakdown for an n-node run.
+func NewPhaseBreakdown(n int) *PhaseBreakdown {
+	return &PhaseBreakdown{n: n, byName: make(map[string]*PhaseStats)}
+}
+
+// Phases returns the accumulated per-phase stats in first-seen order. The
+// returned slice and its entries are live — read them after the run.
+func (b *PhaseBreakdown) Phases() []*PhaseStats { return b.order }
+
+// Phase returns the stats for one label, or nil if never seen.
+func (b *PhaseBreakdown) Phase(name string) *PhaseStats { return b.byName[name] }
+
+// NodeEnergy returns node id's awake rounds summed across all phases. On a
+// completed run it equals Result.Energy[id].
+func (b *PhaseBreakdown) NodeEnergy(id int) uint64 {
+	var t uint64
+	for _, p := range b.order {
+		t += p.Awake[id]
+	}
+	return t
+}
+
+func (b *PhaseBreakdown) phase(name string) *PhaseStats {
+	p := b.byName[name]
+	if p == nil {
+		p = &PhaseStats{
+			Name:       name,
+			Awake:      make([]uint64, b.n),
+			Transmits:  make([]uint64, b.n),
+			Listens:    make([]uint64, b.n),
+			Collisions: make([]uint64, b.n),
+		}
+		b.byName[name] = p
+		b.order = append(b.order, p)
+	}
+	return p
+}
+
+// ObserveRound implements radio.Observer.
+func (b *PhaseBreakdown) ObserveRound(s *radio.RoundStats) {
+	for _, tx := range s.Transmitters {
+		p := b.phase(tx.Phase)
+		p.Awake[tx.ID]++
+		p.Transmits[tx.ID]++
+	}
+	for _, rx := range s.Listeners {
+		p := b.phase(rx.Phase)
+		p.Awake[rx.ID]++
+		p.Listens[rx.ID]++
+		if rx.TxNeighbors >= 2 {
+			p.Collisions[rx.ID]++
+		}
+	}
+}
+
+// ObserveHalt implements radio.Observer.
+func (b *PhaseBreakdown) ObserveHalt(int, int64, uint64, uint64) { b.Halts++ }

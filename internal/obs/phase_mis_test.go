@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"testing"
+
+	"radiomis/internal/backoff"
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/radio"
+	"radiomis/internal/rng"
+)
+
+// The acceptance property of the phase instrumentation: on a real MIS run,
+// PhaseBreakdown attributes 100% of every node's energy to named phases —
+// the per-node sums match Result.Energy exactly and no action falls into
+// the unnamed ("") bucket.
+
+func assertFullAttribution(t *testing.T, b *PhaseBreakdown, res *radio.Result) {
+	t.Helper()
+	if p := b.Phase(""); p != nil && p.TotalAwake() > 0 {
+		t.Errorf("%d awake rounds fell into the unnamed phase", p.TotalAwake())
+	}
+	for id := range res.Energy {
+		if got := b.NodeEnergy(id); got != res.Energy[id] {
+			t.Errorf("node %d: attributed %d awake rounds, engine counted %d", id, got, res.Energy[id])
+		}
+	}
+}
+
+func TestPhaseBreakdownCoversCDMIS(t *testing.T) {
+	g := graph.GNP(40, 0.2, rng.New(7))
+	p := mis.ParamsDefault(40, g.MaxDegree())
+	b := NewPhaseBreakdown(g.N())
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 7, Observer: b}, mis.CDProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullAttribution(t, b, res)
+	for _, ph := range b.Phases() {
+		switch ph.Name {
+		case "competition", "check":
+		default:
+			t.Errorf("unexpected phase %q in CD run", ph.Name)
+		}
+	}
+	if b.Phase("competition") == nil || b.Phase("check") == nil {
+		t.Error("CD run missing competition or check phase")
+	}
+	// The competition dominates: every Luby phase spends up to B rounds
+	// competing and exactly one checking.
+	if comp, chk := b.Phase("competition").TotalAwake(), b.Phase("check").TotalAwake(); comp <= chk {
+		t.Errorf("competition energy %d not dominant over check energy %d", comp, chk)
+	}
+}
+
+func TestPhaseBreakdownCoversNoCDMIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("no-CD MIS run is slow")
+	}
+	g := graph.GNP(24, 0.25, rng.New(3))
+	p := mis.ParamsDefault(24, g.MaxDegree())
+	b := NewPhaseBreakdown(g.N())
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: 3, Observer: b}, mis.NoCDProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullAttribution(t, b, res)
+	known := map[string]bool{
+		"competition": true, "deep-check": true, "announce": true,
+		"low-degree": true, "shallow-check": true,
+	}
+	for _, ph := range b.Phases() {
+		if !known[ph.Name] {
+			t.Errorf("unexpected phase %q in no-CD run", ph.Name)
+		}
+	}
+	if b.Phase("competition") == nil {
+		t.Error("no-CD run missing competition phase")
+	}
+}
+
+func TestPhaseBreakdownCoversLowDegreeBaseline(t *testing.T) {
+	g := graph.GNP(20, 0.2, rng.New(5))
+	p := mis.ParamsDefault(20, g.MaxDegree())
+	b := NewPhaseBreakdown(g.N())
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: 5, Observer: b}, mis.LowDegreeProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullAttribution(t, b, res)
+	if b.Phase("low-degree") == nil {
+		t.Error("standalone LowDegreeMIS run not labeled low-degree")
+	}
+}
+
+// The backoff primitives claim their own labels only when the caller has
+// not set a phase: standalone use shows snd-/rec-ebackoff, while a caller
+// label like "competition" is never overwritten.
+func TestBackoffPrimitivesSelfLabel(t *testing.T) {
+	g := graph.Path(2)
+	const k, delta = 4, 4
+	b := NewPhaseBreakdown(g.N())
+	res, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: 2, Observer: b},
+		func(env *radio.Env) int64 {
+			if env.ID() == 0 {
+				backoff.Send(env, k, delta, 1)
+				return 0
+			}
+			backoff.Receive(env, k, delta, 0)
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullAttribution(t, b, res)
+	snd, rec := b.Phase("snd-ebackoff"), b.Phase("rec-ebackoff")
+	if snd == nil || rec == nil {
+		t.Fatal("standalone backoffs did not self-label")
+	}
+	if snd.Transmits[0] != k {
+		t.Errorf("sender transmits = %d, want %d", snd.Transmits[0], k)
+	}
+	if rec.Listens[1] == 0 || rec.Transmits[1] != 0 {
+		t.Errorf("receiver stats wrong: %d listens, %d transmits", rec.Listens[1], rec.Transmits[1])
+	}
+
+	// With a caller-set phase, the primitives must not claim the span.
+	b2 := NewPhaseBreakdown(g.N())
+	res2, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: 2, Observer: b2},
+		func(env *radio.Env) int64 {
+			env.Phase("caller")
+			if env.ID() == 0 {
+				backoff.Send(env, k, delta, 1)
+				return 0
+			}
+			backoff.Receive(env, k, delta, 0)
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullAttribution(t, b2, res2)
+	if len(b2.Phases()) != 1 || b2.Phase("caller") == nil {
+		t.Errorf("caller label overwritten: phases = %v", phaseNames(b2))
+	}
+}
+
+func phaseNames(b *PhaseBreakdown) []string {
+	var out []string
+	for _, p := range b.Phases() {
+		out = append(out, p.Name)
+	}
+	return out
+}

@@ -1,10 +1,8 @@
 package radio
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"radiomis/internal/graph"
@@ -29,8 +27,16 @@ type Config struct {
 	Seed uint64
 	// MaxRounds caps simulated time; 0 means DefaultMaxRounds.
 	MaxRounds uint64
-	// Tracer, when non-nil, observes rounds and node decisions.
+	// Tracer, when non-nil, observes rounds and node decisions (the
+	// legacy who-was-awake interface; see Observer for reception
+	// outcomes and phase attribution).
 	Tracer Tracer
+	// Observer, when non-nil, receives structured per-round reception
+	// statistics (RoundStats) and halt events. Tracer and Observer may
+	// both be set; the Tracer is adapted internally and sees the same
+	// rounds. When both are nil the coordinator skips all observation
+	// work and allocates nothing per round.
+	Observer Observer
 	// WakeRound optionally staggers node start times: node i begins
 	// executing at round WakeRound[i] (its Env round counter starts
 	// there). nil means synchronous wake-up at round 0 — the assumption
@@ -178,7 +184,11 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 	return res, err
 }
 
-// eventHeap orders pending node wake-ups by (round, id).
+// eventHeap is a binary min-heap of pending node wake-ups ordered by
+// (round, id). It is hand-rolled instead of wrapping container/heap
+// because the interface boxing of heap.Push allocates on every call — the
+// coordinator's hottest operation — whereas the typed version keeps the
+// steady-state scheduler allocation-free (see TestNilObserverAddsNoAllocs).
 type eventHeap []event
 
 type event struct {
@@ -186,38 +196,90 @@ type event struct {
 	id    int
 }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].round != h[j].round {
 		return h[i].round < h[j].round
 	}
 	return h[i].id < h[j].id
 }
-func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any         { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < len(s) && s.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s) && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
 func (h eventHeap) peekRound() uint64 { return h[0].round }
+
+// observer combines Config.Observer and Config.Tracer (via adapter) into
+// the single observer the coordinator drives; nil when neither is set.
+func (cfg *Config) observer() Observer {
+	if cfg.Tracer == nil {
+		return cfg.Observer
+	}
+	adapted := ObserverFromTracer(cfg.Tracer)
+	if cfg.Observer == nil {
+		return adapted
+	}
+	return MultiObserver{cfg.Observer, adapted}
+}
 
 // coordinate is the discrete-event scheduler: it advances directly to the
 // next round with an awake node, gathers that round's intents, applies the
-// collision rule, and replies to listeners.
+// collision rule, and replies to listeners. When an observer is attached
+// it additionally classifies every listener's reception — success,
+// collision, or silence — from the same transmission marks it already
+// keeps, so observation costs O(1) extra per awake action and nothing per
+// round when no observer is attached.
 func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
-	model, tracer := cfg.Model, cfg.Tracer
+	model, obs := cfg.Model, cfg.observer()
 	n := len(envs)
 	h := make(eventHeap, 0, n)
 	for i := 0; i < n; i++ {
-		h = append(h, event{round: wakes[i], id: i})
+		h.push(event{round: wakes[i], id: i})
 	}
-	heap.Init(&h)
 
 	var (
 		// Epoch-stamped marks avoid clearing per round.
-		txEpoch      = make([]uint64, n)
-		txPayload    = make([]uint64, n)
-		epoch        uint64
-		transmitters []int
-		listeners    []int
-		active       = n
+		txEpoch   = make([]uint64, n)
+		txPayload = make([]uint64, n)
+		epoch     uint64
+		due       []int
+		nTx       int
+		listeners []int
+		stats     RoundStats // buffers reused across rounds (observer only)
+		active    = n
 	)
 
 	for active > 0 {
@@ -226,16 +288,22 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 			return fmt.Errorf("%w (cap %d)", ErrMaxRounds, maxRounds)
 		}
 		epoch++
-		transmitters = transmitters[:0]
+		nTx = 0
+		due = due[:0]
 		listeners = listeners[:0]
-
-		// Pop every node scheduled for round r, in id order (heap order
-		// already breaks round ties by id).
-		var due []int
-		for len(h) > 0 && h.peekRound() == r {
-			due = append(due, heap.Pop(&h).(event).id)
+		if obs != nil {
+			stats = RoundStats{
+				Round:        r,
+				Transmitters: stats.Transmitters[:0],
+				Listeners:    stats.Listeners[:0],
+			}
 		}
-		sort.Ints(due) // heap pops are (round,id)-ordered already; keep explicit for clarity
+
+		// Pop every node scheduled for round r; pops arrive in id order
+		// because the heap breaks round ties by id.
+		for len(h) > 0 && h.peekRound() == r {
+			due = append(due, h.pop().id)
+		}
 
 		for _, id := range due {
 			env := envs[id]
@@ -247,28 +315,34 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 				}
 				txEpoch[id] = epoch
 				txPayload[id] = it.payload
-				transmitters = append(transmitters, id)
+				nTx++
 				res.Energy[id]++
-				heap.Push(&h, event{round: r + 1, id: id})
+				if obs != nil {
+					stats.Transmitters = append(stats.Transmitters, NodeTx{ID: id, Phase: it.phase, Payload: it.payload})
+				}
+				h.push(event{round: r + 1, id: id})
 			case intentListen:
 				listeners = append(listeners, id)
 				res.Energy[id]++
-				heap.Push(&h, event{round: r + 1, id: id})
+				if obs != nil {
+					stats.Listeners = append(stats.Listeners, NodeRx{ID: id, Phase: it.phase})
+				}
+				h.push(event{round: r + 1, id: id})
 			case intentSleep:
-				heap.Push(&h, event{round: r + it.sleep, id: id})
+				h.push(event{round: r + it.sleep, id: id})
 			case intentHalt:
 				res.Outputs[id] = it.result
 				active--
-				if tracer != nil {
-					tracer.NodeHalted(id, it.result, res.Energy[id], r)
+				if obs != nil {
+					obs.ObserveHalt(id, it.result, res.Energy[id], r)
 				}
 			default:
 				return fmt.Errorf("radio: node %d submitted unknown intent %d", id, it.kind)
 			}
 		}
 
-		// Deliver receptions.
-		for _, id := range listeners {
+		// Deliver receptions, classifying outcomes for the observer.
+		for li, id := range listeners {
 			count := 0
 			var payload uint64
 			for _, w := range g.Neighbors(id) {
@@ -277,13 +351,27 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 					payload = txPayload[w]
 				}
 			}
-			envs[id].replyCh <- perceive(model, count, payload)
+			reception := perceive(model, count, payload)
+			if obs != nil {
+				rx := &stats.Listeners[li]
+				rx.TxNeighbors = count
+				rx.Outcome = reception.Kind
+				switch {
+				case count == 0:
+					stats.Silences++
+				case count == 1:
+					stats.Successes++
+				default:
+					stats.Collisions++
+				}
+			}
+			envs[id].replyCh <- reception
 		}
 
-		if len(transmitters) > 0 || len(listeners) > 0 {
+		if nTx > 0 || len(listeners) > 0 {
 			res.Rounds = r + 1
-			if tracer != nil {
-				tracer.RoundDone(r, transmitters, listeners)
+			if obs != nil {
+				obs.ObserveRound(&stats)
 			}
 		}
 	}

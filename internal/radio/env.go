@@ -30,6 +30,7 @@ type Env struct {
 	kill     chan struct{}
 
 	energy uint64
+	phase  string // current phase label, stamped onto awake intents
 }
 
 // ID returns the node's index in [0, N). The model is anonymous — the
@@ -53,11 +54,27 @@ func (e *Env) Rand() *rand.Rand { return e.rand }
 // Energy returns the number of awake rounds the node has spent so far.
 func (e *Env) Energy() uint64 { return e.energy }
 
+// Phase labels the node's subsequent awake actions with an algorithm-phase
+// name, for energy attribution by an Observer (PhaseBreakdown, the trace
+// exporters). It returns the previous label so nested primitives can
+// restore their caller's attribution. Setting a phase consumes no rounds
+// and no energy and never affects the simulation outcome.
+func (e *Env) Phase(name string) (prev string) {
+	prev = e.phase
+	e.phase = name
+	return prev
+}
+
+// PhaseLabel returns the node's current phase label ("" when unset).
+// Shared primitives use it to annotate their span only when the caller has
+// not already claimed it (see internal/backoff).
+func (e *Env) PhaseLabel() string { return e.phase }
+
 // Transmit sends payload to all neighbors this round. The node is awake
 // (one unit of energy) and cannot listen in the same round; whether any
 // neighbor receives the message depends on the collisions at that neighbor.
 func (e *Env) Transmit(payload uint64) {
-	e.submit(intent{kind: intentTransmit, payload: payload})
+	e.submit(intent{kind: intentTransmit, payload: payload, phase: e.phase})
 	e.round++
 	e.energy++
 }
@@ -68,7 +85,7 @@ func (e *Env) TransmitBit() { e.Transmit(1) }
 // Listen spends this round listening and returns what was perceived under
 // the network's collision model. The node is awake (one unit of energy).
 func (e *Env) Listen() Reception {
-	e.submit(intent{kind: intentListen})
+	e.submit(intent{kind: intentListen, phase: e.phase})
 	e.round++
 	e.energy++
 	select {
@@ -120,4 +137,5 @@ type intent struct {
 	payload uint64
 	sleep   uint64
 	result  int64
+	phase   string // Env.Phase label at submission (transmit/listen only)
 }

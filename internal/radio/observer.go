@@ -1,0 +1,116 @@
+package radio
+
+// This file defines the structured observability interface of the engine:
+// per-round reception outcomes (successes, collisions, silent listens) and
+// per-action phase attribution. It extends the legacy Tracer, which only
+// reported who transmitted and listened; the Tracer keeps working through
+// an internal adapter (see Run).
+
+// NodeTx describes one transmitting node within a round.
+type NodeTx struct {
+	// ID is the transmitter's node index.
+	ID int
+	// Phase is the algorithm-phase label the node had set via Env.Phase
+	// when it transmitted ("" when unset).
+	Phase string
+	// Payload is the transmitted word.
+	Payload uint64
+}
+
+// NodeRx describes one listening node within a round, including the
+// reception outcome.
+type NodeRx struct {
+	// ID is the listener's node index.
+	ID int
+	// Phase is the algorithm-phase label the node had set via Env.Phase
+	// when it listened ("" when unset).
+	Phase string
+	// TxNeighbors is the number of neighbors that transmitted this round —
+	// the physical ground truth at this listener, independent of the
+	// collision model: 0 is silence, 1 a successful reception, ≥ 2 a
+	// collision (even when the model masks it, as no-CD does).
+	TxNeighbors int
+	// Outcome is what the listener perceived under the configured model
+	// (e.g. a collision is perceived as Silence in the no-CD model).
+	Outcome Kind
+}
+
+// RoundStats describes one active round: who was awake, in which phase,
+// and what every listener physically experienced. The engine computes it
+// from marks it already maintains, so observation adds no asymptotic cost.
+//
+// The invariant Successes + Collisions + Silences == len(Listeners) holds
+// in every round under every collision model.
+type RoundStats struct {
+	// Round is the simulated round number.
+	Round uint64
+	// Transmitters holds the transmitting nodes, in ascending ID order.
+	Transmitters []NodeTx
+	// Listeners holds the listening nodes, in ascending ID order.
+	Listeners []NodeRx
+	// Successes counts listeners with exactly one transmitting neighbor.
+	Successes int
+	// Collisions counts listeners with two or more transmitting neighbors.
+	Collisions int
+	// Silences counts listeners with no transmitting neighbor.
+	Silences int
+}
+
+// Observer receives structured simulation events. Like Tracer, methods are
+// called from the coordinator's single goroutine and must be fast; the
+// RoundStats value and its slices are only valid during the call (the
+// engine reuses the buffers between rounds).
+type Observer interface {
+	// ObserveRound is called after each round with at least one awake
+	// node, once receptions have been resolved.
+	ObserveRound(s *RoundStats)
+	// ObserveHalt is called when a node's program returns. energy is the
+	// node's final awake-round count and round the round it halted.
+	ObserveHalt(id int, output int64, energy uint64, round uint64)
+}
+
+// MultiObserver fans events out to several observers.
+type MultiObserver []Observer
+
+var _ Observer = (MultiObserver)(nil)
+
+// ObserveRound implements Observer.
+func (m MultiObserver) ObserveRound(s *RoundStats) {
+	for _, o := range m {
+		o.ObserveRound(s)
+	}
+}
+
+// ObserveHalt implements Observer.
+func (m MultiObserver) ObserveHalt(id int, output int64, energy uint64, round uint64) {
+	for _, o := range m {
+		o.ObserveHalt(id, output, energy, round)
+	}
+}
+
+// ObserverFromTracer adapts a legacy Tracer to the Observer interface: the
+// tracer sees exactly the rounds and halts it would have seen directly.
+// Run uses it internally when Config.Tracer is set, so existing tracers
+// keep working unchanged.
+func ObserverFromTracer(t Tracer) Observer { return &tracerObserver{t: t} }
+
+type tracerObserver struct {
+	t      Tracer
+	tx, rx []int // reused ID buffers for the legacy RoundDone signature
+}
+
+func (a *tracerObserver) ObserveRound(s *RoundStats) {
+	a.tx = a.tx[:0]
+	a.rx = a.rx[:0]
+	for _, tx := range s.Transmitters {
+		a.tx = append(a.tx, tx.ID)
+	}
+	for _, rx := range s.Listeners {
+		a.rx = append(a.rx, rx.ID)
+	}
+	a.t.RoundDone(s.Round, a.tx, a.rx)
+}
+
+func (a *tracerObserver) ObserveHalt(id int, output int64, energy uint64, round uint64) {
+	a.t.NodeHalted(id, output, energy, round)
+}

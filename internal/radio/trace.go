@@ -8,8 +8,10 @@ import (
 
 // CountingTracer accumulates aggregate statistics about a run: how many
 // rounds had activity, how many transmissions and listens occurred, and the
-// busiest round. It is safe for use by a single engine (the engine calls
-// tracers from one goroutine); Snapshot may be called after Run returns.
+// busiest round. The engine calls tracer methods from a single goroutine,
+// so the exported fields may be read directly once Run has returned; to
+// observe a live run from another goroutine, use Snapshot — the mutex
+// exists to make that concurrent read safe.
 type CountingTracer struct {
 	mu sync.Mutex
 
@@ -22,6 +24,32 @@ type CountingTracer struct {
 }
 
 var _ Tracer = (*CountingTracer)(nil)
+
+// CountingSnapshot is a point-in-time copy of a CountingTracer's counters.
+type CountingSnapshot struct {
+	ActiveRounds  uint64
+	Transmissions uint64
+	Listens       uint64
+	Halts         int
+	BusiestRound  uint64
+	BusiestCount  int
+}
+
+// Snapshot returns a consistent copy of the counters. Unlike direct field
+// reads, it is safe to call from any goroutine while the run is still in
+// progress.
+func (t *CountingTracer) Snapshot() CountingSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return CountingSnapshot{
+		ActiveRounds:  t.ActiveRounds,
+		Transmissions: t.Transmissions,
+		Listens:       t.Listens,
+		Halts:         t.Halts,
+		BusiestRound:  t.BusiestRound,
+		BusiestCount:  t.BusiestCount,
+	}
+}
 
 // RoundDone implements Tracer.
 func (t *CountingTracer) RoundDone(round uint64, transmitters, listeners []int) {

@@ -79,6 +79,71 @@ func TestRecordingTracerEventsAreCopies(t *testing.T) {
 	}
 }
 
+func TestCountingTracerSnapshot(t *testing.T) {
+	tr := &CountingTracer{}
+	tr.RoundDone(3, []int{0, 1}, []int{2})
+	tr.RoundDone(7, []int{0}, nil)
+	tr.NodeHalted(0, 0, 2, 8)
+	snap := tr.Snapshot()
+	want := CountingSnapshot{
+		ActiveRounds:  2,
+		Transmissions: 3,
+		Listens:       1,
+		Halts:         1,
+		BusiestRound:  3,
+		BusiestCount:  3,
+	}
+	if snap != want {
+		t.Errorf("Snapshot = %+v, want %+v", snap, want)
+	}
+	// The snapshot is a value copy: mutating the tracer afterwards must
+	// not be visible in it.
+	tr.RoundDone(9, []int{0}, nil)
+	if snap.ActiveRounds != 2 {
+		t.Error("snapshot aliases live counters")
+	}
+}
+
+func TestMultiTracerFanOutIdenticalData(t *testing.T) {
+	// Every tracer in a MultiTracer must see the same rounds, the same
+	// awake sets, and the same halts.
+	g := graph.Complete(5)
+	recA, recB := &RecordingTracer{}, &RecordingTracer{}
+	cnt := &CountingTracer{}
+	_, err := Run(g, Config{Model: ModelCD, Seed: 11, Tracer: MultiTracer{recA, cnt, recB}}, func(env *Env) int64 {
+		for i := 0; i < 6; i++ {
+			if env.Rand().Int63()&1 == 1 {
+				env.TransmitBit()
+			} else {
+				env.Listen()
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recA.Events) == 0 || len(recA.Events) != len(recB.Events) {
+		t.Fatalf("event counts diverge: %d vs %d", len(recA.Events), len(recB.Events))
+	}
+	var tx, rx uint64
+	for i := range recA.Events {
+		a, b := recA.Events[i], recB.Events[i]
+		if a.Round != b.Round || len(a.Transmitters) != len(b.Transmitters) || len(a.Listeners) != len(b.Listeners) {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, a, b)
+		}
+		tx += uint64(len(a.Transmitters))
+		rx += uint64(len(a.Listeners))
+	}
+	if tx != cnt.Transmissions || rx != cnt.Listens {
+		t.Errorf("counting tracer (%d tx, %d rx) disagrees with recordings (%d tx, %d rx)",
+			cnt.Transmissions, cnt.Listens, tx, rx)
+	}
+	if len(recA.HaltRound) != 5 || len(recB.HaltRound) != 5 || cnt.Halts != 5 {
+		t.Error("halts not fanned out to all tracers")
+	}
+}
+
 func TestConcurrentIndependentRuns(t *testing.T) {
 	// Two simultaneous engines must not interfere (no shared state).
 	g := graph.Complete(16)

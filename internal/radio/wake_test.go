@@ -79,6 +79,91 @@ func TestWakeRoundNilIsSynchronous(t *testing.T) {
 	}
 }
 
+func TestTracerUnderStaggeredWake(t *testing.T) {
+	// Four nodes with distinct wake offsets, no edges: each listens twice
+	// then halts. Tracer callbacks must respect the per-node offsets: node
+	// i's first traced activity is at round wake[i], and NodeHalted fires
+	// at wake[i]+2 (the round after its last awake action).
+	wake := []uint64{0, 3, 3, 7}
+	g := graph.New(4)
+	rec := &RecordingTracer{}
+	cnt := &CountingTracer{}
+	_, err := Run(g, Config{
+		Model:     ModelCD,
+		Seed:      1,
+		WakeRound: wake,
+		Tracer:    MultiTracer{rec, cnt},
+	}, func(env *Env) int64 {
+		env.Listen()
+		env.Listen()
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	firstSeen := map[int]uint64{}
+	for _, ev := range rec.Events {
+		for _, id := range ev.Listeners {
+			if _, ok := firstSeen[id]; !ok {
+				firstSeen[id] = ev.Round
+			}
+		}
+	}
+	for id, w := range wake {
+		if firstSeen[id] != w {
+			t.Errorf("node %d first traced at round %d, want wake round %d", id, firstSeen[id], w)
+		}
+		if got := rec.HaltRound[id]; got != w+2 {
+			t.Errorf("node %d halted at round %d, want %d (wake %d + 2 listens)", id, got, w+2, w)
+		}
+	}
+	if cnt.Listens != 8 {
+		t.Errorf("counted %d listens, want 8", cnt.Listens)
+	}
+	// Rounds 3 and 7 host two resp. one listeners alongside earlier nodes
+	// only if offsets overlap; ActiveRounds must equal the number of
+	// distinct rounds with awake nodes: {0,1, 3,4, 7,8} = 6.
+	if cnt.ActiveRounds != 6 {
+		t.Errorf("ActiveRounds = %d, want 6", cnt.ActiveRounds)
+	}
+}
+
+func TestObserverUnderStaggeredWake(t *testing.T) {
+	// A transmitter waking late must be classified against the listener
+	// that has been awake from round 0: silence until the wake round, then
+	// a successful reception.
+	g := graph.Path(2)
+	o := &recordingObserver{}
+	_, err := Run(g, Config{
+		Model:     ModelNoCD,
+		Seed:      1,
+		WakeRound: []uint64{0, 2},
+		Observer:  o,
+	}, func(env *Env) int64 {
+		if env.ID() == 1 {
+			env.TransmitBit()
+			return 0
+		}
+		for i := 0; i < 3; i++ {
+			env.Listen()
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.rounds) != 3 {
+		t.Fatalf("observed %d rounds, want 3", len(o.rounds))
+	}
+	wantSucc := []int{0, 0, 1}
+	for i, s := range o.rounds {
+		if s.Successes != wantSucc[i] || s.Silences != 1-wantSucc[i] {
+			t.Errorf("round %d: successes=%d silences=%d, want successes=%d", i, s.Successes, s.Silences, wantSucc[i])
+		}
+	}
+}
+
 func TestUnaryOnlyRejectsPayloads(t *testing.T) {
 	g := graph.Path(2)
 	_, err := Run(g, Config{Model: ModelCD, Seed: 1, UnaryOnly: true}, func(env *Env) int64 {

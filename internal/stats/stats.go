@@ -10,15 +10,16 @@ import (
 	"sort"
 )
 
-// Summary holds the descriptive statistics of a sample.
+// Summary holds the descriptive statistics of a sample. The JSON tags are
+// part of the benchsuite report schema (experiments.SchemaVersion).
 type Summary struct {
-	Count  int
-	Mean   float64
-	Std    float64
-	Min    float64
-	Max    float64
-	Median float64
-	P90    float64
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
 }
 
 // Summarize computes descriptive statistics. An empty sample yields the

@@ -32,6 +32,20 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string {
+	return append([]string(nil), t.header...)
+}
+
+// Rows returns a copy of the formatted cell rows, in insertion order.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
 func formatCell(v any) string {
 	switch x := v.(type) {
 	case float64:
