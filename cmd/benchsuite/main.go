@@ -9,6 +9,7 @@
 //	benchsuite -quick       # smoke-test scale
 //	benchsuite -e E2,E5     # selected experiments
 //	benchsuite -json out.json  # also write a machine-readable report ("-" = stdout)
+//	benchsuite -timeout 5m  # bound the whole run; exits non-zero on expiry
 //
 // The -json report follows the stable experiments.SchemaVersion layout:
 // every experiment's tables plus its metric summaries
@@ -16,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,22 +30,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	var (
 		only     = fs.String("e", "", "comma-separated experiment IDs (default: all)")
 		quick    = fs.Bool("quick", false, "smoke-test scale")
 		seed     = fs.Uint64("seed", 1, "suite seed")
 		jsonPath = fs.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
+		timeout  = fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
@@ -66,11 +75,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	jr := experiments.NewJSONReport(cfg)
+	var runErr error
 	for _, def := range defs {
 		start := time.Now()
-		rep, err := def.Run(cfg)
+		rep, err := def.Run(ctx, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", def.ID, err)
+			runErr = fmt.Errorf("%s: %w", def.ID, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The -timeout budget expired mid-suite: emit whatever
+				// completed, flagged as partial, and exit non-zero.
+				fmt.Fprintf(tablesOut, "benchsuite: timeout after %v during %s; report is partial (%d/%d experiments)\n",
+					*timeout, def.ID, len(jr.Experiments), len(defs))
+				runErr = fmt.Errorf("%s: timeout %v expired (partial report: %d/%d experiments): %w",
+					def.ID, *timeout, len(jr.Experiments), len(defs), err)
+			}
+			break
 		}
 		elapsed := time.Since(start)
 		jr.Add(rep, elapsed)
@@ -84,7 +103,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("writing json report: %w", err)
 		}
 	}
-	return nil
+	return runErr
 }
 
 func writeJSON(jr *experiments.JSONReport, path string, stdout io.Writer) error {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,19 +14,19 @@ import (
 )
 
 func TestRunSelectedQuick(t *testing.T) {
-	if err := run([]string{"-quick", "-e", "E4"}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-e", "E4"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-e", "E99"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-e", "E99"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -34,7 +36,7 @@ func TestRunBadFlag(t *testing.T) {
 // schema version, and per-experiment metric summaries.
 func TestJSONReportSchema(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.json")
-	err := run([]string{"-quick", "-seed", "7", "-e", "E2,E8", "-json", path}, io.Discard)
+	err := run(context.Background(), []string{"-quick", "-seed", "7", "-e", "E2,E8", "-json", path}, io.Discard)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -124,11 +126,33 @@ func TestJSONReportSchema(t *testing.T) {
 	}
 }
 
+// TestRunTimeout checks the -timeout flag: an absurdly small budget must
+// abort the suite with a context error, and a partial (possibly empty)
+// JSON report must still be written.
+func TestRunTimeout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.json")
+	err := run(context.Background(), []string{"-quick", "-e", "E2", "-timeout", "1ns", "-json", path}, io.Discard)
+	if err == nil {
+		t.Fatal("run with 1ns timeout succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded in chain", err)
+	}
+	raw, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("partial report not written: %v", readErr)
+	}
+	var jr experiments.JSONReport
+	if jsonErr := json.Unmarshal(raw, &jr); jsonErr != nil {
+		t.Fatalf("partial report is not valid JSON: %v", jsonErr)
+	}
+}
+
 // TestJSONToStdout checks that -json - writes the report (and only the
 // report) to stdout, with tables diverted to stderr.
 func TestJSONToStdout(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-e", "E8", "-json", "-"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-e", "E8", "-json", "-"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var jr experiments.JSONReport

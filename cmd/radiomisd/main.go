@@ -1,0 +1,86 @@
+// Command radiomisd serves the radio-network simulator as a service: an
+// HTTP JSON API that queues simulation jobs (reproduction experiments or
+// single-algorithm runs), executes them on a bounded worker pool, caches
+// results, and streams per-job progress as JSON lines. See docs/api.md for
+// the radiomis.server/v1 wire schema.
+//
+// Usage:
+//
+//	radiomisd                     # listen on :8347 with default pool sizes
+//	radiomisd -addr :9000 -workers 8 -queue 64 -cache 256
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs get
+// -drain-timeout to finish, after which their simulations are aborted
+// through context cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"radiomis/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "radiomisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("radiomisd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8347", "listen address")
+		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent job executors")
+		queue        = fs.Int("queue", 32, "max queued jobs before 429 backpressure")
+		cache        = fs.Int("cache", 128, "result-cache capacity (LRU entries)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mgr := server.New(server.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("radiomisd: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cache)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("radiomisd: shutting down (drain timeout %v)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("radiomisd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(shutCtx); err != nil {
+		log.Printf("radiomisd: aborted in-flight jobs: %v", err)
+	}
+	return <-errc
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ import (
 //
 // Every variant still computes a valid MIS; the table shows what each
 // optimization buys.
-func E10Ablation(cfg Config) (*Report, error) {
+func E10Ablation(ctx context.Context, cfg Config) (*Report, error) {
 	n := 128
 	if cfg.Quick {
 		n = 64
@@ -53,12 +54,12 @@ func E10Ablation(cfg Config) (*Report, error) {
 	var fullMax, fullAvg float64
 	for i, v := range variants {
 		abl := v.abl
-		agg, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed},
-			func(seed uint64) (harness.Metrics, error) {
+		agg, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed},
+			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
 				g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
 				p.Ablate = abl
-				res, err := mis.SolveNoCD(g, p, seed)
+				res, err := mis.SolveNoCDContext(ctx, g, p, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -90,7 +91,7 @@ func E10Ablation(cfg Config) (*Report, error) {
 	{
 		g := graph.GNP(n, 8.0/float64(n), rng.New(cfg.Seed))
 		p := mis.ParamsDefault(g.N(), g.MaxDegree())
-		_, bd, err := mis.SolveNoCDBreakdown(g, p, cfg.Seed)
+		_, bd, err := mis.SolveNoCDBreakdownContext(ctx, g, p, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e10 breakdown: %w", err)
 		}

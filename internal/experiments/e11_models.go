@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/congest"
@@ -18,7 +19,7 @@ import (
 // complexity for Luby-in-CONGEST, Algorithm 1 (CD), and Algorithm 2
 // (no-CD) on the same workloads — what each weakening of the
 // communication model costs.
-func E11Models(cfg Config) (*Report, error) {
+func E11Models(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{64}, []int{64, 256})
 	t := trials(cfg, 3, 6)
 
@@ -37,8 +38,11 @@ func E11Models(cfg Config) (*Report, error) {
 	report.Tables = []*texttable.Table{table}
 	for _, n := range ns {
 		// SLEEPING-CONGEST: classical Luby.
-		cg, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed},
-			func(seed uint64) (harness.Metrics, error) {
+		cg, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed},
+			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				g := graph.Generate(graph.FamilyGNP, n, rng.New(seed))
 				res, err := congest.SolveLuby(g, seed)
 				if err != nil {
@@ -63,7 +67,7 @@ func E11Models(cfg Config) (*Report, error) {
 		report.AddAggregate("models/sleeping-congest/luby", float64(n), cg)
 
 		// SLEEPING-RADIO with CD: Algorithm 1.
-		cd, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveCD))
+		cd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveCDContext))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e11 cd n=%d: %w", n, err)
 		}
@@ -72,7 +76,7 @@ func E11Models(cfg Config) (*Report, error) {
 		report.AddAggregate("models/radio-cd/algorithm1", float64(n), cd)
 
 		// SLEEPING-RADIO without CD: Algorithm 2.
-		nocd, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveNoCD))
+		nocd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveNoCDContext))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e11 nocd n=%d: %w", n, err)
 		}

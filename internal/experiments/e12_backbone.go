@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/backbone"
@@ -17,7 +18,7 @@ import (
 // table reports the backbone's size and the per-broadcast energy saving
 // over always-awake naive flooding — the downstream payoff that justifies
 // optimizing MIS construction energy.
-func E12Backbone(cfg Config) (*Report, error) {
+func E12Backbone(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{64}, []int{64, 144, 256})
 	t := trials(cfg, 2, 5)
 
@@ -38,10 +39,13 @@ func E12Backbone(cfg Config) (*Report, error) {
 		var heads, members, slots, informed float64
 		var rounds, bcastE, floodE []float64
 		for trial := 0; trial < t; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: e12: %w", err)
+			}
 			seed := rng.Mix(cfg.Seed, uint64(n*10+trial))
 			g := graph.Grid2D(isqrt(n), isqrt(n))
 			p := mis.ParamsDefault(g.N(), g.MaxDegree())
-			misRun, err := mis.SolveCD(g, p, seed)
+			misRun, err := mis.SolveCDContext(ctx, g, p, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e12 mis: %w", err)
 			}

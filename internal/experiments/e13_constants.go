@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
+	"radiomis/internal/harness"
 	"radiomis/internal/mis"
 	"radiomis/internal/rng"
 	"radiomis/internal/texttable"
@@ -22,7 +24,7 @@ import (
 // The paper's choices (β ≥ 4, C′ ≈ 26, C ≈ 176) push all three failure
 // modes below 1/poly(n); the sweep shows the failure cliff the defaults
 // stay clear of.
-func E13Constants(cfg Config) (*Report, error) {
+func E13Constants(ctx context.Context, cfg Config) (*Report, error) {
 	n := 96
 	if cfg.Quick {
 		n = 48
@@ -42,7 +44,8 @@ func E13Constants(cfg Config) (*Report, error) {
 
 	beta := texttable.New("β", "cd failure rate", "failure kind")
 	for _, b := range []float64{0.25, 0.5, 1, 3} {
-		fails, kind, err := cdFailureRate(cfg, n, t, func(p *mis.Params) { p.Beta = b })
+		b := b
+		fails, kind, err := cdFailureRate(ctx, cfg, n, t, func(p *mis.Params) { p.Beta = b })
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e13 beta=%v: %w", b, err)
 		}
@@ -52,7 +55,8 @@ func E13Constants(cfg Config) (*Report, error) {
 
 	c := texttable.New("C", "cd failure rate", "failure kind")
 	for _, cc := range []float64{0.2, 0.5, 1, 3} {
-		fails, kind, err := cdFailureRate(cfg, n, t, func(p *mis.Params) { p.C = cc })
+		cc := cc
+		fails, kind, err := cdFailureRate(ctx, cfg, n, t, func(p *mis.Params) { p.C = cc })
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e13 C=%v: %w", cc, err)
 		}
@@ -63,22 +67,28 @@ func E13Constants(cfg Config) (*Report, error) {
 	cprime := texttable.New("C′", "no-cd failure rate")
 	nocdTrials := trials(cfg, 3, 8)
 	for _, cp := range []float64{0.5, 1, 2, 5} {
-		fails := 0
-		for trial := 0; trial < nocdTrials; trial++ {
-			seed := rng.Mix(cfg.Seed, uint64(trial)+uint64(cp*1000))
-			g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
-			p := mis.ParamsDefault(g.N(), g.MaxDegree())
-			p.CPrime = cp
-			res, err := mis.SolveNoCD(g, p, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: e13 cprime=%v: %w", cp, err)
-			}
-			if res.Check(g) != nil {
-				fails++
-			}
+		cp := cp
+		agg, err := harness.Repeat(ctx,
+			harness.Options{Trials: nocdTrials, Seed: rng.Mix(cfg.Seed, uint64(cp*1000))},
+			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+				g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
+				p := mis.ParamsDefault(g.N(), g.MaxDegree())
+				p.CPrime = cp
+				res, err := mis.SolveNoCDContext(ctx, g, p, seed)
+				if err != nil {
+					return nil, err
+				}
+				fail := 0.0
+				if res.Check(g) != nil {
+					fail = 1
+				}
+				return harness.Metrics{"fail": fail}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e13 cprime=%v: %w", cp, err)
 		}
-		cprime.AddRow(cp, float64(fails)/float64(nocdTrials))
-		report.AddValue("constants/cprime", cp, "nocdFailureRate", float64(fails)/float64(nocdTrials))
+		cprime.AddRow(cp, agg.Mean("fail"))
+		report.AddValue("constants/cprime", cp, "nocdFailureRate", agg.Mean("fail"))
 	}
 
 	report.Tables = []*texttable.Table{beta, c, cprime}
@@ -87,28 +97,34 @@ func E13Constants(cfg Config) (*Report, error) {
 
 // cdFailureRate runs the CD algorithm with modified params and classifies
 // the dominant failure mode observed.
-func cdFailureRate(cfg Config, n, t int, mod func(*mis.Params)) (rate float64, kind string, err error) {
-	fails, undecided, dependent := 0, 0, 0
-	for trial := 0; trial < t; trial++ {
-		seed := rng.Mix(cfg.Seed, uint64(trial))
-		g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
-		p := mis.ParamsDefault(g.N(), g.MaxDegree())
-		mod(&p)
-		res, solveErr := mis.SolveCD(g, p, seed)
-		if solveErr != nil {
-			return 0, "", solveErr
-		}
-		if res.Check(g) == nil {
-			continue
-		}
-		fails++
-		if res.Undecided > 0 {
-			undecided++
-		}
-		if !graph.IsIndependent(g, res.InMIS) {
-			dependent++
-		}
+func cdFailureRate(ctx context.Context, cfg Config, n, t int, mod func(*mis.Params)) (rate float64, kind string, err error) {
+	agg, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed},
+		func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+			g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
+			p := mis.ParamsDefault(g.N(), g.MaxDegree())
+			mod(&p)
+			res, solveErr := mis.SolveCDContext(ctx, g, p, seed)
+			if solveErr != nil {
+				return nil, solveErr
+			}
+			m := harness.Metrics{"fail": 0, "undecided": 0, "dependent": 0}
+			if res.Check(g) == nil {
+				return m, nil
+			}
+			m["fail"] = 1
+			if res.Undecided > 0 {
+				m["undecided"] = 1
+			}
+			if !graph.IsIndependent(g, res.InMIS) {
+				m["dependent"] = 1
+			}
+			return m, nil
+		})
+	if err != nil {
+		return 0, "", err
 	}
+	undecided := agg.Mean("undecided")
+	dependent := agg.Mean("dependent")
 	kind = "-"
 	switch {
 	case dependent > undecided:
@@ -116,5 +132,5 @@ func cdFailureRate(cfg Config, n, t int, mod func(*mis.Params)) (rate float64, k
 	case undecided > 0:
 		kind = "undecided nodes"
 	}
-	return float64(fails) / float64(t), kind, nil
+	return agg.Mean("fail"), kind, nil
 }

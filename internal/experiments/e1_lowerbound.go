@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/lowerbound"
@@ -13,7 +14,7 @@ import (
 // 1 − e^(−n/4^(b+1)), the measured pair-communication failure rate of
 // oblivious b-budget strategies, and the measured MIS failure rate of
 // Algorithm 1 truncated to b awake rounds.
-func E1LowerBound(cfg Config) (*Report, error) {
+func E1LowerBound(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{64, 256}, []int{64, 256, 1024})
 	oblTrials := trials(cfg, 40, 200)
 	truncTrials := trials(cfg, 20, 80)
@@ -32,13 +33,13 @@ func E1LowerBound(cfg Config) (*Report, error) {
 				b = 1
 			}
 			obl, err := lowerbound.FailureProbOblivious(lowerbound.Config{
-				N: n, Budget: b, Trials: oblTrials, Seed: cfg.Seed,
+				Ctx: ctx, N: n, Budget: b, Trials: oblTrials, Seed: cfg.Seed,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e1 oblivious n=%d b=%d: %w", n, b, err)
 			}
 			trunc, err := lowerbound.FailureProbTruncatedCD(lowerbound.Config{
-				N: n, Budget: b, Trials: truncTrials, Seed: cfg.Seed + 1,
+				Ctx: ctx, N: n, Budget: b, Trials: truncTrials, Seed: cfg.Seed + 1,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e1 truncated n=%d b=%d: %w", n, b, err)

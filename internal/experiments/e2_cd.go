@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,16 +12,18 @@ import (
 	"radiomis/internal/texttable"
 )
 
-// solveFunc is the common signature of all MIS solvers.
-type solveFunc func(*graph.Graph, mis.Params, uint64) (*mis.Result, error)
+// solveFunc is the common signature of all context-aware MIS solvers.
+type solveFunc func(context.Context, *graph.Graph, mis.Params, uint64) (*mis.Result, error)
 
 // misTrial builds a harness trial: generate a graph of the family at size
-// n, run the solver, and report energy/round/success metrics.
+// n, run the solver, and report energy/round/success metrics. The trial
+// context reaches the radio engine, so cancelling the harness batch aborts
+// the simulation mid-run.
 func misTrial(family graph.Family, n int, solve solveFunc) harness.TrialFunc {
-	return func(seed uint64) (harness.Metrics, error) {
+	return func(ctx context.Context, seed uint64) (harness.Metrics, error) {
 		g := graph.Generate(family, n, rng.New(seed))
 		p := mis.ParamsDefault(g.N(), g.MaxDegree())
-		res, err := solve(g, p, seed)
+		res, err := solve(ctx, g, p, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -41,13 +44,13 @@ func misTrial(family graph.Family, n int, solve solveFunc) harness.TrialFunc {
 // like log n while its rounds grow like log² n, with success probability
 // approaching 1. The sweep runs over sparse G(n,p) (arbitrary topology,
 // constant average degree) and reports fitted polylog growth exponents.
-func E2CDScaling(cfg Config) (*Report, error) {
+func E2CDScaling(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{64, 256, 1024}, []int{64, 256, 1024, 4096, 16384})
 	t := trials(cfg, 5, 15)
 
-	series, err := harness.Sweep(toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
+	series, err := harness.Sweep(ctx, toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
 		func(x float64) harness.TrialFunc {
-			return misTrial(graph.FamilyGNP, int(x), mis.SolveCD)
+			return misTrial(graph.FamilyGNP, int(x), mis.SolveCDContext)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: e2: %w", err)

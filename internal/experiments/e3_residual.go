@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -46,7 +47,7 @@ func residualEdges(g *graph.Graph, res *mis.Result, phaseRounds uint64, maxPhase
 // the residual graph is empty after O(log n) phases. It reports, per phase:
 // the mean residual edge count of Algorithm 1, the phase-over-phase ratio,
 // and the same quantities for the classical sequential Luby reference.
-func E3Residual(cfg Config) (*Report, error) {
+func E3Residual(ctx context.Context, cfg Config) (*Report, error) {
 	n := 512
 	t := trials(cfg, 8, 30)
 	if cfg.Quick {
@@ -63,7 +64,7 @@ func E3Residual(cfg Config) (*Report, error) {
 		r := rng.New(seed)
 		g := graph.GNP(n, 8.0/float64(n), r)
 		p := mis.ParamsDefault(g.N(), g.MaxDegree())
-		res, err := mis.SolveCD(g, p, seed)
+		res, err := mis.SolveCDContext(ctx, g, p, seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e3 trial %d: %w", trial, err)
 		}

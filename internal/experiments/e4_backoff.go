@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ import (
 // exact budgets (sender awake exactly k rounds, receiver at most
 // k·⌈log₂ Δest⌉) and the reception guarantee — a receiver with 1..Δest
 // sending neighbors hears one with probability at least 1 − (7/8)^k.
-func E4Backoff(cfg Config) (*Report, error) {
+func E4Backoff(ctx context.Context, cfg Config) (*Report, error) {
 	const delta = 64
 	t := trials(cfg, 60, 400)
 
@@ -31,7 +32,7 @@ func E4Backoff(cfg Config) (*Report, error) {
 
 	budget := texttable.New("k", "Δ", "rounds T_B", "sender energy", "receiver energy (no sender)")
 	for _, k := range []int{1, 4, 16, 64} {
-		senderEnergy, receiverEnergy, rounds, err := backoffBudgets(cfg.Seed, k, delta)
+		senderEnergy, receiverEnergy, rounds, err := backoffBudgets(ctx, cfg.Seed, k, delta)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e4 budgets k=%d: %w", k, err)
 		}
@@ -46,7 +47,7 @@ func E4Backoff(cfg Config) (*Report, error) {
 		for _, senders := range []int{1, 4, 16, 64} {
 			fails := 0
 			for trial := 0; trial < t; trial++ {
-				heard, err := starBackoffTrial(rng.Mix(cfg.Seed, uint64(k*1000+senders*10+trial)), senders, k, delta)
+				heard, err := starBackoffTrial(ctx, rng.Mix(cfg.Seed, uint64(k*1000+senders*10+trial)), senders, k, delta)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: e4 k=%d senders=%d: %w", k, senders, err)
 				}
@@ -67,10 +68,10 @@ func E4Backoff(cfg Config) (*Report, error) {
 
 // backoffBudgets measures exact budgets on a 2-node graph with a silent
 // partner (so the receiver never hears and pays its full budget).
-func backoffBudgets(seed uint64, k, delta int) (senderEnergy, receiverEnergy, rounds uint64, err error) {
+func backoffBudgets(ctx context.Context, seed uint64, k, delta int) (senderEnergy, receiverEnergy, rounds uint64, err error) {
 	g := graph.New(2)
 	// No edge: both run against silence.
-	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed}, func(env *radio.Env) int64 {
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Ctx: ctx, Seed: seed}, func(env *radio.Env) int64 {
 		if env.ID() == 0 {
 			backoff.Send(env, k, delta, 1)
 		} else {
@@ -86,9 +87,9 @@ func backoffBudgets(seed uint64, k, delta int) (senderEnergy, receiverEnergy, ro
 
 // starBackoffTrial runs `senders` transmitting leaves around a listening
 // center and reports whether the center heard.
-func starBackoffTrial(seed uint64, senders, k, delta int) (bool, error) {
+func starBackoffTrial(ctx context.Context, seed uint64, senders, k, delta int) (bool, error) {
 	g := graph.Star(senders + 1)
-	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed}, func(env *radio.Env) int64 {
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Ctx: ctx, Seed: seed}, func(env *radio.Env) int64 {
 		if env.ID() == 0 {
 			if backoff.Receive(env, k, delta, 0) {
 				return 1

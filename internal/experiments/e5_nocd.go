@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,13 +16,13 @@ import (
 // grows like log² n (· log log n) while its rounds grow like
 // log³ n · log Δ, with success probability approaching 1, on sparse
 // arbitrary-topology graphs.
-func E5NoCDScaling(cfg Config) (*Report, error) {
+func E5NoCDScaling(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{32, 64, 128}, []int{32, 64, 128, 256, 512})
 	t := trials(cfg, 3, 8)
 
-	series, err := harness.Sweep(toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
+	series, err := harness.Sweep(ctx, toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
 		func(x float64) harness.TrialFunc {
-			return misTrial(graph.FamilyGNP, int(x), mis.SolveNoCD)
+			return misTrial(graph.FamilyGNP, int(x), mis.SolveNoCDContext)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: e5: %w", err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -23,7 +24,7 @@ import (
 // the table reports both the observed energies and each algorithm's
 // worst-case per-phase budget so the asymptotic relation is visible. See
 // EXPERIMENTS.md for the reading.
-func E6Comparison(cfg Config) (*Report, error) {
+func E6Comparison(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{64}, []int{64, 128, 256})
 	t := trials(cfg, 3, 6)
 
@@ -44,11 +45,11 @@ func E6Comparison(cfg Config) (*Report, error) {
 	for _, n := range ns {
 		for _, fam := range []graph.Family{graph.FamilyGNP, graph.FamilyCycle} {
 			// CD comparison.
-			a1, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveCD))
+			a1, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveCDContext))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 cd n=%d: %w", n, err)
 			}
-			nl, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveCD))
+			nl, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveCDContext))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 naive-cd n=%d: %w", n, err)
 			}
@@ -60,15 +61,15 @@ func E6Comparison(cfg Config) (*Report, error) {
 			report.AddAggregate("comparison/cd/naive-luby/"+fam.String(), float64(n), nl)
 
 			// no-CD comparison.
-			a2, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNoCD))
+			a2, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNoCDContext))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 nocd n=%d: %w", n, err)
 			}
-			dv, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveLowDegree))
+			dv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveLowDegreeContext))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 davies n=%d: %w", n, err)
 			}
-			nv, err := harness.Repeat(harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveNoCD))
+			nv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveNoCDContext))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 naive-nocd n=%d: %w", n, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -13,7 +14,7 @@ import (
 // (Algorithm 3), the subgraph induced by committed nodes has maximum degree
 // at most κ·log₂ n with high probability — the fact that lets committed
 // nodes run LowDegreeMIS with a logarithmic degree estimate.
-func E7CommitDegree(cfg Config) (*Report, error) {
+func E7CommitDegree(ctx context.Context, cfg Config) (*Report, error) {
 	t := trials(cfg, 5, 20)
 	type workload struct {
 		name string
@@ -64,7 +65,7 @@ func E7CommitDegree(cfg Config) (*Report, error) {
 			p := mis.ParamsDefault(g.N(), g.MaxDegree())
 			delta = g.MaxDegree()
 			bound = p.CommitDegree()
-			deg, committed, err := mis.CommittedSubgraphMaxDegree(g, p, seed)
+			deg, committed, err := mis.CommittedSubgraphMaxDegreeContext(ctx, g, p, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e7 %s trial %d: %w", w.name, trial, err)
 			}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
+	"radiomis/internal/harness"
 	"radiomis/internal/mis"
 	"radiomis/internal/rng"
 	"radiomis/internal/texttable"
@@ -13,7 +15,7 @@ import (
 // the "heard anything" predicate, so the identical program runs in the
 // beeping model with the same round and energy complexity. Under identical
 // randomness the two runs must agree decision-for-decision.
-func E8Beeping(cfg Config) (*Report, error) {
+func E8Beeping(ctx context.Context, cfg Config) (*Report, error) {
 	t := trials(cfg, 3, 10)
 	n := 256
 	if cfg.Quick {
@@ -31,52 +33,54 @@ func E8Beeping(cfg Config) (*Report, error) {
 
 	table := texttable.New("family", "n", "runs", "identical decisions", "identical energy", "cd maxE", "beep maxE", "both valid")
 	for _, fam := range []graph.Family{graph.FamilyGNP, graph.FamilyGrid} {
-		var identDecisions, identEnergy, bothValid int
-		var cdMax, beepMax uint64
-		for trial := 0; trial < t; trial++ {
-			seed := rng.Mix(cfg.Seed, uint64(trial))
-			g := graph.Generate(fam, n, rng.New(seed))
-			p := mis.ParamsDefault(g.N(), g.MaxDegree())
-			cd, err := mis.SolveCD(g, p, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: e8 cd: %w", err)
-			}
-			beep, err := mis.SolveBeep(g, p, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: e8 beep: %w", err)
-			}
-			same, sameEnergy := true, true
-			for v := range cd.Status {
-				if cd.Status[v] != beep.Status[v] {
-					same = false
+		fam := fam
+		agg, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed},
+			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+				g := graph.Generate(fam, n, rng.New(seed))
+				p := mis.ParamsDefault(g.N(), g.MaxDegree())
+				cd, err := mis.SolveCDContext(ctx, g, p, seed)
+				if err != nil {
+					return nil, fmt.Errorf("cd: %w", err)
 				}
-				if cd.Energy[v] != beep.Energy[v] {
-					sameEnergy = false
+				beep, err := mis.SolveBeepContext(ctx, g, p, seed)
+				if err != nil {
+					return nil, fmt.Errorf("beep: %w", err)
 				}
-			}
-			if same {
-				identDecisions++
-			}
-			if sameEnergy {
-				identEnergy++
-			}
-			if cd.Check(g) == nil && beep.Check(g) == nil {
-				bothValid++
-			}
-			if cd.MaxEnergy() > cdMax {
-				cdMax = cd.MaxEnergy()
-			}
-			if beep.MaxEnergy() > beepMax {
-				beepMax = beep.MaxEnergy()
-			}
+				same, sameEnergy := 1.0, 1.0
+				for v := range cd.Status {
+					if cd.Status[v] != beep.Status[v] {
+						same = 0
+					}
+					if cd.Energy[v] != beep.Energy[v] {
+						sameEnergy = 0
+					}
+				}
+				bothValid := 0.0
+				if cd.Check(g) == nil && beep.Check(g) == nil {
+					bothValid = 1
+				}
+				return harness.Metrics{
+					"identicalDecision": same,
+					"identicalEnergy":   sameEnergy,
+					"bothValid":         bothValid,
+					"cdMaxEnergy":       float64(cd.MaxEnergy()),
+					"beepMaxEnergy":     float64(beep.MaxEnergy()),
+				}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e8 %s: %w", fam.String(), err)
 		}
-		table.AddRow(fam.String(), n, t, identDecisions, identEnergy, cdMax, beepMax, bothValid)
+		identDecisions := int(agg.Mean("identicalDecision")*float64(t) + 0.5)
+		identEnergy := int(agg.Mean("identicalEnergy")*float64(t) + 0.5)
+		bothValid := int(agg.Mean("bothValid")*float64(t) + 0.5)
+		table.AddRow(fam.String(), n, t, identDecisions, identEnergy,
+			uint64(agg.Max("cdMaxEnergy")), uint64(agg.Max("beepMaxEnergy")), bothValid)
 		series := "beeping/" + fam.String()
-		report.AddValue(series, float64(n), "identicalDecisionRate", float64(identDecisions)/float64(t))
-		report.AddValue(series, float64(n), "identicalEnergyRate", float64(identEnergy)/float64(t))
-		report.AddValue(series, float64(n), "bothValidRate", float64(bothValid)/float64(t))
-		report.AddValue(series, float64(n), "cdMaxEnergy", float64(cdMax))
-		report.AddValue(series, float64(n), "beepMaxEnergy", float64(beepMax))
+		report.AddValue(series, float64(n), "identicalDecisionRate", agg.Mean("identicalDecision"))
+		report.AddValue(series, float64(n), "identicalEnergyRate", agg.Mean("identicalEnergy"))
+		report.AddValue(series, float64(n), "bothValidRate", agg.Mean("bothValid"))
+		report.AddValue(series, float64(n), "cdMaxEnergy", agg.Max("cdMaxEnergy"))
+		report.AddValue(series, float64(n), "beepMaxEnergy", agg.Max("beepMaxEnergy"))
 	}
 
 	report.Tables = []*texttable.Table{table}

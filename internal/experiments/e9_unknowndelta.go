@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -13,7 +14,7 @@ import (
 // E9UnknownDelta reproduces the §1.1 discussion: guessing Δ as 2^(2^i)
 // costs an O(log log n) factor in energy and an O(1) factor in rounds
 // relative to the known-Δ run, while still producing a valid MIS.
-func E9UnknownDelta(cfg Config) (*Report, error) {
+func E9UnknownDelta(ctx context.Context, cfg Config) (*Report, error) {
 	ns := sizes(cfg, []int{48}, []int{48, 96, 192})
 	t := trials(cfg, 2, 5)
 
@@ -42,11 +43,11 @@ func E9UnknownDelta(cfg Config) (*Report, error) {
 			guessCount = len(mis.DeltaGuesses(maxOf(delta, 2)))
 			roundRatio = float64(mis.UnknownDeltaRoundBudget(p)) / float64(mis.NoCDRoundBudget(p))
 
-			known, err := mis.SolveNoCD(g, p, seed)
+			known, err := mis.SolveNoCDContext(ctx, g, p, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e9 known n=%d: %w", n, err)
 			}
-			unknown, err := mis.SolveUnknownDelta(g, p, seed)
+			unknown, err := mis.SolveUnknownDeltaContext(ctx, g, p, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e9 unknown n=%d: %w", n, err)
 			}

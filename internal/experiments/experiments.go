@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,11 +55,15 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// Definition registers an experiment.
+// Definition registers an experiment. Run executes it under ctx:
+// cancellation propagates through the trial harness into the radio engine,
+// so an abandoned run stops mid-sweep instead of completing in the
+// background. A completed run's numbers are deterministic in Config alone —
+// the context only decides whether the run finishes.
 type Definition struct {
 	ID    string
 	Title string
-	Run   func(Config) (*Report, error)
+	Run   func(ctx context.Context, cfg Config) (*Report, error)
 }
 
 // All returns every experiment definition in ID order.

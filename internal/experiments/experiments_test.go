@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -13,7 +15,7 @@ func TestAllDefinitionsRunQuick(t *testing.T) {
 		def := def
 		t.Run(def.ID, func(t *testing.T) {
 			t.Parallel()
-			rep, err := def.Run(quickCfg)
+			rep, err := def.Run(context.Background(), quickCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +63,7 @@ func TestAllOrderedAndUnique(t *testing.T) {
 }
 
 func TestE7NoViolationsQuick(t *testing.T) {
-	rep, err := E7CommitDegree(quickCfg)
+	rep, err := E7CommitDegree(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +82,28 @@ func TestE7NoViolationsQuick(t *testing.T) {
 }
 
 func TestE8IdenticalAtQuickScale(t *testing.T) {
-	rep, err := E8Beeping(quickCfg)
+	rep, err := E8Beeping(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := rep.Tables[0].String()
 	if strings.Contains(out, "beep maxE") && !strings.Contains(out, "gnp") {
 		t.Errorf("table missing families:\n%s", out)
+	}
+}
+
+// TestRunCancelled checks that a cancelled context aborts an experiment
+// before (or during) its trial work, surfacing context.Canceled.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"E2", "E8"} {
+		def, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := def.Run(ctx, quickCfg); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled ctx: err = %v, want context.Canceled", id, err)
+		}
 	}
 }

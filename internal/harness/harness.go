@@ -1,14 +1,19 @@
 // Package harness runs randomized experiments: repeated trials across
 // seeds (in parallel), named metric collection, and aggregation into the
-// series the benchmark suite tabulates.
+// series the benchmark suite tabulates. All entry points take a
+// context.Context: cancelling it fails the batch fast — no new trials
+// start, in-flight trials receive the cancelled context, and Repeat
+// returns the context's error.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"radiomis/internal/obs"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
 )
@@ -16,8 +21,11 @@ import (
 // Metrics is one trial's named measurements.
 type Metrics map[string]float64
 
-// TrialFunc runs one trial with the given seed.
-type TrialFunc func(seed uint64) (Metrics, error)
+// TrialFunc runs one trial with the given seed. The context is cancelled
+// when the batch is abandoned (caller cancellation or another trial's
+// failure); trials should pass it down to the simulation so they stop
+// promptly.
+type TrialFunc func(ctx context.Context, seed uint64) (Metrics, error)
 
 // Aggregate collects metric samples across trials.
 type Aggregate struct {
@@ -62,12 +70,22 @@ type Options struct {
 	Parallelism int
 }
 
-// Repeat runs f for each trial seed and aggregates the metrics. The first
-// trial error aborts the aggregation. Trials run concurrently but results
-// are stored in trial order, so aggregates are deterministic.
-func Repeat(opts Options, f TrialFunc) (*Aggregate, error) {
+// Repeat runs f for each trial seed on a fixed pool of Parallelism worker
+// goroutines and aggregates the metrics. The first trial error fails the
+// batch fast: remaining trials are cancelled (no new ones start, in-flight
+// ones see a cancelled context) and the lowest-indexed observed error is
+// returned. Successful batches store results in trial order, so aggregates
+// are deterministic regardless of scheduling.
+//
+// Each completed trial additionally reports an obs progress event
+// ({Stage: "trial", Done, Total}) to any sink installed on ctx with
+// obs.ContextWithProgress.
+func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) {
 	if opts.Trials < 1 {
 		return nil, fmt.Errorf("harness: Trials = %d, want ≥ 1", opts.Trials)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	par := opts.Parallelism
 	if par <= 0 {
@@ -77,25 +95,61 @@ func Repeat(opts Options, f TrialFunc) (*Aggregate, error) {
 		par = opts.Trials
 	}
 
-	results := make([]Metrics, opts.Trials)
-	errs := make([]error, opts.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i := 0; i < opts.Trials; i++ {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		results   = make([]Metrics, opts.Trials)
+		mu        sync.Mutex // guards firstErr/firstIdx/completed
+		firstErr  error
+		firstIdx  int
+		completed int
+		wg        sync.WaitGroup
+		next      = make(chan int)
+	)
+	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = f(rng.Mix(opts.Seed, uint64(i)))
-		}(i)
+			for i := range next {
+				if tctx.Err() != nil {
+					return // batch abandoned: drop remaining work
+				}
+				m, err := f(tctx, rng.Mix(opts.Seed, uint64(i)))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel() // fail fast: stop handing out trials
+					return
+				}
+				results[i] = m
+				mu.Lock()
+				completed++
+				done := completed
+				mu.Unlock()
+				obs.Report(tctx, obs.ProgressEvent{Stage: "trial", Done: done, Total: opts.Trials})
+			}
+		}()
 	}
+feed:
+	for i := 0; i < opts.Trials; i++ {
+		select {
+		case next <- i:
+		case <-tctx.Done():
+			break feed
+		}
+	}
+	close(next)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("harness: trial %d: %w", i, err)
-		}
+	if firstErr != nil {
+		return nil, fmt.Errorf("harness: trial %d: %w", firstIdx, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	agg := &Aggregate{Trials: opts.Trials, values: make(map[string][]float64)}
 	for _, m := range results {
@@ -117,15 +171,18 @@ type Point struct {
 type Series []Point
 
 // Sweep runs the experiment builder at every x value. build receives the x
-// value and must return the trial function for that size.
-func Sweep(xs []float64, opts Options, build func(x float64) TrialFunc) (Series, error) {
+// value and must return the trial function for that size. Cancelling ctx
+// stops the sweep at the current position. Each finished position reports
+// an obs progress event ({Stage: "sweep", Done, Total, X}).
+func Sweep(ctx context.Context, xs []float64, opts Options, build func(x float64) TrialFunc) (Series, error) {
 	series := make(Series, 0, len(xs))
-	for _, x := range xs {
-		agg, err := Repeat(opts, build(x))
+	for i, x := range xs {
+		agg, err := Repeat(ctx, opts, build(x))
 		if err != nil {
 			return nil, fmt.Errorf("harness: sweep x=%v: %w", x, err)
 		}
 		series = append(series, Point{X: x, Agg: agg})
+		obs.Report(ctx, obs.ProgressEvent{Stage: "sweep", Done: i + 1, Total: len(xs), X: x})
 	}
 	return series, nil
 }

@@ -1,13 +1,17 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"radiomis/internal/obs"
 )
 
 func TestRepeatAggregates(t *testing.T) {
-	agg, err := Repeat(Options{Trials: 10, Seed: 1}, func(seed uint64) (Metrics, error) {
+	agg, err := Repeat(context.Background(), Options{Trials: 10, Seed: 1}, func(_ context.Context, seed uint64) (Metrics, error) {
 		return Metrics{"x": float64(seed % 2)}, nil
 	})
 	if err != nil {
@@ -27,7 +31,7 @@ func TestRepeatAggregates(t *testing.T) {
 
 func TestRepeatDeterministicSeeds(t *testing.T) {
 	run := func() []float64 {
-		agg, err := Repeat(Options{Trials: 8, Seed: 7, Parallelism: 4}, func(seed uint64) (Metrics, error) {
+		agg, err := Repeat(context.Background(), Options{Trials: 8, Seed: 7, Parallelism: 4}, func(_ context.Context, seed uint64) (Metrics, error) {
 			return Metrics{"seed": float64(seed % 1000)}, nil
 		})
 		if err != nil {
@@ -44,7 +48,7 @@ func TestRepeatDeterministicSeeds(t *testing.T) {
 }
 
 func TestRepeatDistinctSeedsPerTrial(t *testing.T) {
-	agg, err := Repeat(Options{Trials: 32, Seed: 9}, func(seed uint64) (Metrics, error) {
+	agg, err := Repeat(context.Background(), Options{Trials: 32, Seed: 9}, func(_ context.Context, seed uint64) (Metrics, error) {
 		return Metrics{"seed": float64(seed)}, nil
 	})
 	if err != nil {
@@ -61,7 +65,7 @@ func TestRepeatDistinctSeedsPerTrial(t *testing.T) {
 
 func TestRepeatPropagatesError(t *testing.T) {
 	wantErr := errors.New("boom")
-	_, err := Repeat(Options{Trials: 5, Seed: 1}, func(seed uint64) (Metrics, error) {
+	_, err := Repeat(context.Background(), Options{Trials: 5, Seed: 1}, func(context.Context, uint64) (Metrics, error) {
 		return nil, wantErr
 	})
 	if !errors.Is(err, wantErr) {
@@ -69,15 +73,85 @@ func TestRepeatPropagatesError(t *testing.T) {
 	}
 }
 
+func TestRepeatFailsFast(t *testing.T) {
+	// Trial 0 fails immediately; the remaining trials block until their
+	// context is cancelled. Fail-fast means the batch returns promptly and
+	// never starts all trials.
+	var started atomic.Int64
+	_, err := Repeat(context.Background(), Options{Trials: 64, Seed: 1, Parallelism: 2}, func(ctx context.Context, seed uint64) (Metrics, error) {
+		n := started.Add(1)
+		if n == 1 {
+			return nil, errors.New("boom")
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return Metrics{}, nil
+		}
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := started.Load(); got >= 64 {
+		t.Errorf("all %d trials started despite fail-fast", got)
+	}
+}
+
+func TestRepeatReportsLowestErrorIndex(t *testing.T) {
+	// With parallelism 1 the pool runs trials in order, so the reported
+	// trial index is exactly the first failing one.
+	wantErr := errors.New("boom")
+	_, err := Repeat(context.Background(), Options{Trials: 8, Seed: 1, Parallelism: 1}, func(_ context.Context, seed uint64) (Metrics, error) {
+		return nil, wantErr
+	})
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "harness: trial 0: boom" {
+		t.Errorf("err = %q, want trial 0 attribution", got)
+	}
+}
+
+func TestRepeatCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Repeat(ctx, Options{Trials: 4, Seed: 1}, func(context.Context, uint64) (Metrics, error) {
+		t.Error("trial ran under a cancelled context")
+		return Metrics{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRepeatCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Repeat(ctx, Options{Trials: 64, Seed: 1, Parallelism: 2}, func(tctx context.Context, seed uint64) (Metrics, error) {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		<-tctx.Done() // every trial observes the cancellation
+		return Metrics{}, tctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 64 {
+		t.Errorf("all %d trials started despite cancellation", got)
+	}
+}
+
 func TestRepeatRejectsZeroTrials(t *testing.T) {
-	if _, err := Repeat(Options{}, func(uint64) (Metrics, error) { return nil, nil }); err == nil {
+	if _, err := Repeat(context.Background(), Options{}, func(context.Context, uint64) (Metrics, error) { return nil, nil }); err == nil {
 		t.Error("zero trials accepted")
 	}
 }
 
 func TestRepeatParallelismCap(t *testing.T) {
 	var cur, peak atomic.Int64
-	_, err := Repeat(Options{Trials: 16, Seed: 2, Parallelism: 3}, func(uint64) (Metrics, error) {
+	_, err := Repeat(context.Background(), Options{Trials: 16, Seed: 2, Parallelism: 3}, func(context.Context, uint64) (Metrics, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -96,9 +170,34 @@ func TestRepeatParallelismCap(t *testing.T) {
 	}
 }
 
+func TestRepeatReportsProgress(t *testing.T) {
+	var events atomic.Int64
+	var lastDone atomic.Int64
+	ctx := obs.ContextWithProgress(context.Background(), func(ev obs.ProgressEvent) {
+		if ev.Stage != "trial" {
+			return
+		}
+		events.Add(1)
+		if int64(ev.Done) > lastDone.Load() {
+			lastDone.Store(int64(ev.Done))
+		}
+		if ev.Total != 6 {
+			t.Errorf("Total = %d, want 6", ev.Total)
+		}
+	})
+	if _, err := Repeat(ctx, Options{Trials: 6, Seed: 3}, func(context.Context, uint64) (Metrics, error) {
+		return Metrics{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() != 6 || lastDone.Load() != 6 {
+		t.Errorf("progress events = %d (last done %d), want 6/6", events.Load(), lastDone.Load())
+	}
+}
+
 func TestSweepAndCurve(t *testing.T) {
-	series, err := Sweep([]float64{64, 256, 1024}, Options{Trials: 4, Seed: 3}, func(x float64) TrialFunc {
-		return func(seed uint64) (Metrics, error) {
+	series, err := Sweep(context.Background(), []float64{64, 256, 1024}, Options{Trials: 4, Seed: 3}, func(x float64) TrialFunc {
+		return func(context.Context, uint64) (Metrics, error) {
 			return Metrics{"lin": x, "const": 5}, nil
 		}
 	})
@@ -119,8 +218,8 @@ func TestSweepAndCurve(t *testing.T) {
 
 func TestSeriesGrowthExponent(t *testing.T) {
 	// Metric = (log₂ n)²: exponent ≈ 2.
-	series, err := Sweep([]float64{64, 256, 1024, 4096}, Options{Trials: 2, Seed: 4}, func(x float64) TrialFunc {
-		return func(seed uint64) (Metrics, error) {
+	series, err := Sweep(context.Background(), []float64{64, 256, 1024, 4096}, Options{Trials: 2, Seed: 4}, func(x float64) TrialFunc {
+		return func(context.Context, uint64) (Metrics, error) {
 			l := 0.0
 			for v := 1.0; v < x; v *= 2 {
 				l++
@@ -141,7 +240,7 @@ func TestSeriesGrowthExponent(t *testing.T) {
 }
 
 func TestAggregateNamesSorted(t *testing.T) {
-	agg, err := Repeat(Options{Trials: 1, Seed: 1}, func(uint64) (Metrics, error) {
+	agg, err := Repeat(context.Background(), Options{Trials: 1, Seed: 1}, func(context.Context, uint64) (Metrics, error) {
 		return Metrics{"z": 1, "a": 2, "m": 3}, nil
 	})
 	if err != nil {

@@ -21,6 +21,7 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,10 @@ func MinimumEnergy(n int) float64 {
 
 // Config parameterizes a lower-bound measurement.
 type Config struct {
+	// Ctx, when non-nil, bounds the measurement: cancellation aborts the
+	// trial loop (and the in-flight simulation) with the context's error.
+	Ctx context.Context
+
 	// NoCD runs the probe in the no-CD model instead of CD. Theorem 1's
 	// bound applies to both models (no-CD is strictly weaker, so the CD
 	// lower bound carries over); the measured failure rates in no-CD are
@@ -70,6 +75,14 @@ func (c Config) model() radio.Model {
 		return radio.ModelNoCD
 	}
 	return radio.ModelCD
+}
+
+// ctx returns the config's context, defaulting to context.Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) validate() error {
@@ -181,7 +194,7 @@ func FailureProbTruncatedCD(cfg Config) (float64, error) {
 		seed := rng.Mix(cfg.Seed^0x5bd1, uint64(trial))
 		g := graph.LowerBoundGraph(cfg.N, rng.New(seed))
 		p := mis.ParamsDefault(cfg.N, 1)
-		rr, err := radio.Run(g, radio.Config{Model: cfg.model(), Seed: seed},
+		rr, err := radio.Run(g, radio.Config{Model: cfg.model(), Ctx: cfg.ctx(), Seed: seed},
 			truncatedCDProgram(p, uint64(cfg.Budget)))
 		if err != nil {
 			return 0, fmt.Errorf("lowerbound: truncated trial %d: %w", trial, err)
@@ -210,7 +223,7 @@ func FailureProbOblivious(cfg Config) (float64, error) {
 	for trial := 0; trial < cfg.Trials; trial++ {
 		seed := rng.Mix(cfg.Seed, uint64(trial))
 		g := graph.LowerBoundGraph(cfg.N, rng.New(seed))
-		rr, err := radio.Run(g, radio.Config{Model: cfg.model(), Seed: seed},
+		rr, err := radio.Run(g, radio.Config{Model: cfg.model(), Ctx: cfg.ctx(), Seed: seed},
 			obliviousProgram(cfg.Budget, horizon))
 		if err != nil {
 			return 0, fmt.Errorf("lowerbound: oblivious trial %d: %w", trial, err)

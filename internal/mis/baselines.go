@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/backoff"
@@ -49,10 +50,15 @@ func NaiveCDProgram(p Params) radio.Program {
 
 // SolveNaiveCD runs the non-energy-optimized Luby baseline in the CD model.
 func SolveNaiveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return SolveNaiveCDContext(context.Background(), g, p, seed)
+}
+
+// SolveNaiveCDContext is SolveNaiveCD bounded by ctx.
+func SolveNaiveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, radio.ModelCD, seed, NaiveCDProgram(p))
+	res, err := runProgram(ctx, g, radio.ModelCD, seed, NaiveCDProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: naive cd run: %w", err)
 	}
@@ -103,10 +109,15 @@ func NaiveNoCDProgram(p Params) radio.Program {
 
 // SolveNaiveNoCD runs the naive no-CD simulation baseline.
 func SolveNaiveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return SolveNaiveNoCDContext(context.Background(), g, p, seed)
+}
+
+// SolveNaiveNoCDContext is SolveNaiveNoCD bounded by ctx.
+func SolveNaiveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, radio.ModelNoCD, seed, NaiveNoCDProgram(p))
+	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, NaiveNoCDProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: naive no-cd run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -64,21 +65,34 @@ func CDProgram(p Params) radio.Program {
 // SolveCD runs Algorithm 1 on g in the CD model and returns the computed
 // result. The run is deterministic in (g, p, seed).
 func SolveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	return solveCDModel(g, p, seed, radio.ModelCD)
+	return SolveCDContext(context.Background(), g, p, seed)
+}
+
+// SolveCDContext is SolveCD bounded by ctx: cancellation aborts the
+// simulation at the next round boundary. Cancellation never changes a
+// completed run's outcome — the same (g, p, seed) still yields bit-for-bit
+// identical results.
+func SolveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return solveCDModel(ctx, g, p, seed, radio.ModelCD)
 }
 
 // SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1): every
 // "transmit 1" becomes a beep and "heard 1 or collision" becomes "heard a
 // beep". Round and energy complexities are identical to the CD run.
 func SolveBeep(g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	return solveCDModel(g, p, seed, radio.ModelBeep)
+	return SolveBeepContext(context.Background(), g, p, seed)
 }
 
-func solveCDModel(g *graph.Graph, p Params, seed uint64, model radio.Model) (*Result, error) {
+// SolveBeepContext is SolveBeep bounded by ctx.
+func SolveBeepContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return solveCDModel(ctx, g, p, seed, radio.ModelBeep)
+}
+
+func solveCDModel(ctx context.Context, g *graph.Graph, p Params, seed uint64, model radio.Model) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, model, seed, CDProgram(p))
+	res, err := runProgram(ctx, g, model, seed, CDProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: cd run: %w", err)
 	}

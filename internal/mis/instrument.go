@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -38,11 +39,16 @@ func (c CompOutcome) String() string {
 // that the committed nodes induce a subgraph of maximum degree at most
 // κ·log n.
 func RunCompetitionOnce(g *graph.Graph, p Params, seed uint64) ([]CompOutcome, error) {
+	return RunCompetitionOnceContext(context.Background(), g, p, seed)
+}
+
+// RunCompetitionOnceContext is RunCompetitionOnce bounded by ctx.
+func RunCompetitionOnceContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) ([]CompOutcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	b, k, delta, dHat := p.RankBits(), p.BackoffReps(), p.Delta, p.CommitDegree()
-	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Seed: seed},
+	rr, err := radio.Run(g, radio.Config{Model: radio.ModelNoCD, Ctx: ctx, Seed: seed},
 		func(env *radio.Env) int64 {
 			switch competition(env, p, b, k, delta, dHat) {
 			case compWin:
@@ -68,7 +74,13 @@ func RunCompetitionOnce(g *graph.Graph, p Params, seed uint64) ([]CompOutcome, e
 // (winning committed nodes included, since they committed first), together
 // with the number of committed nodes.
 func CommittedSubgraphMaxDegree(g *graph.Graph, p Params, seed uint64) (maxDeg, committed int, err error) {
-	outcomes, err := RunCompetitionOnce(g, p, seed)
+	return CommittedSubgraphMaxDegreeContext(context.Background(), g, p, seed)
+}
+
+// CommittedSubgraphMaxDegreeContext is CommittedSubgraphMaxDegree bounded
+// by ctx.
+func CommittedSubgraphMaxDegreeContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (maxDeg, committed int, err error) {
+	outcomes, err := RunCompetitionOnceContext(ctx, g, p, seed)
 	if err != nil {
 		return 0, 0, err
 	}

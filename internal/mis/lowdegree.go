@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/backoff"
@@ -154,10 +155,15 @@ func LowDegreeProgram(p Params) radio.Program {
 // SolveLowDegree runs the standalone Davies-style baseline in the no-CD
 // model.
 func SolveLowDegree(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return SolveLowDegreeContext(context.Background(), g, p, seed)
+}
+
+// SolveLowDegreeContext is SolveLowDegree bounded by ctx.
+func SolveLowDegreeContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, radio.ModelNoCD, seed, LowDegreeProgram(p))
+	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, LowDegreeProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: low-degree run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/backoff"
@@ -115,11 +116,16 @@ func (b *EnergyBreakdown) Totals() (competition, checks, lowDegree uint64) {
 // SolveNoCDBreakdown runs Algorithm 2 like SolveNoCD and additionally
 // attributes every node's energy to the segment that spent it.
 func SolveNoCDBreakdown(g *graph.Graph, p Params, seed uint64) (*Result, *EnergyBreakdown, error) {
+	return SolveNoCDBreakdownContext(context.Background(), g, p, seed)
+}
+
+// SolveNoCDBreakdownContext is SolveNoCDBreakdown bounded by ctx.
+func SolveNoCDBreakdownContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, *EnergyBreakdown, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
 	breakdown := NewEnergyBreakdown(g.N())
-	res, err := runProgram(g, radio.ModelNoCD, seed, func(env *radio.Env) int64 {
+	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, func(env *radio.Env) int64 {
 		return runNoCD(env, p, compUndecided, breakdown)
 	})
 	if err != nil {
@@ -333,10 +339,16 @@ func receive(env *radio.Env, p Params, k, delta, dEst int) bool {
 
 // SolveNoCD runs Algorithm 2 on g in the no-CD model.
 func SolveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return SolveNoCDContext(context.Background(), g, p, seed)
+}
+
+// SolveNoCDContext is SolveNoCD bounded by ctx: cancellation aborts the
+// simulation at the next round boundary.
+func SolveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, radio.ModelNoCD, seed, NoCDProgram(p))
+	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, NoCDProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: no-cd run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/graph"
@@ -65,10 +66,11 @@ func (t *haltTracer) NodeHalted(id int, _ int64, _ uint64, round uint64) {
 
 // runProgram executes program on g under the model and converts the raw
 // simulation outcome into an MIS result with decision-round
-// instrumentation. All Solve functions go through it.
-func runProgram(g *graph.Graph, model radio.Model, seed uint64, program radio.Program) (*Result, error) {
+// instrumentation. All Solve functions go through it; ctx bounds the
+// simulation (the engine aborts cooperatively at round granularity).
+func runProgram(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, program radio.Program) (*Result, error) {
 	tracer := &haltTracer{rounds: make([]uint64, g.N())}
-	rr, err := radio.Run(g, radio.Config{Model: model, Seed: seed, Tracer: tracer}, program)
+	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer}, program)
 	if err != nil {
 		return nil, err
 	}

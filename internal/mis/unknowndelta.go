@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"fmt"
 
 	"radiomis/internal/backoff"
@@ -144,10 +145,15 @@ func maxInt(a, b int) int {
 
 // SolveUnknownDelta runs the unknown-Δ wrapper on g in the no-CD model.
 func SolveUnknownDelta(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return SolveUnknownDeltaContext(context.Background(), g, p, seed)
+}
+
+// SolveUnknownDeltaContext is SolveUnknownDelta bounded by ctx.
+func SolveUnknownDeltaContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := runProgram(g, radio.ModelNoCD, seed, UnknownDeltaProgram(p))
+	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, UnknownDeltaProgram(p))
 	if err != nil {
 		return nil, fmt.Errorf("mis: unknown-delta run: %w", err)
 	}

@@ -1,0 +1,42 @@
+package obs
+
+import "context"
+
+// ProgressEvent is one coarse-grained progress notification from a
+// long-running computation: a completed trial of a harness batch, a
+// finished sweep position, or a job-level state change. It deliberately
+// mirrors the JSONL exporter's event style (small, self-contained,
+// discriminated records) so servers can stream progress as JSON lines.
+type ProgressEvent struct {
+	// Stage names what advanced: "trial" (one harness trial finished),
+	// "sweep" (one sweep position finished), or a caller-defined label.
+	Stage string `json:"stage"`
+	// Done and Total count completed units of the stage.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// X is the sweep position (typically the network size n) when the
+	// stage has an axis; 0 otherwise.
+	X float64 `json:"x,omitempty"`
+}
+
+// ProgressFunc receives progress events. Implementations must be safe for
+// concurrent use: harness trials complete on multiple goroutines.
+type ProgressFunc func(ProgressEvent)
+
+type progressKey struct{}
+
+// ContextWithProgress returns a copy of ctx that carries fn as its
+// progress sink. Computations below (harness.Repeat, harness.Sweep, and
+// anything else that calls Report) deliver their progress events to fn.
+func ContextWithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// Report delivers ev to the progress sink carried by ctx, if any. It is a
+// no-op — and allocation-free — when no sink is installed, so library code
+// can call it unconditionally.
+func Report(ctx context.Context, ev ProgressEvent) {
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok && fn != nil {
+		fn(ev)
+	}
+}

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,10 +19,19 @@ const DefaultMaxRounds = 1 << 28
 // ErrMaxRounds is returned when a run exceeds its round budget.
 var ErrMaxRounds = errors.New("radio: exceeded maximum simulated rounds")
 
+// ErrAborted is returned (wrapped, with the context's cause) when a run is
+// stopped by its Config.Ctx before all nodes halt.
+var ErrAborted = errors.New("radio: run aborted")
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Model selects the collision semantics (required).
 	Model Model
+	// Ctx, when non-nil, bounds the run: the coordinator checks it at
+	// every round boundary and aborts with ErrAborted (wrapping the
+	// context's error) once it is cancelled, tearing down all node
+	// goroutines before Run returns. nil means run to completion.
+	Ctx context.Context
 	// Seed derives every node's private random stream; runs with equal
 	// seeds (and equal inputs) are bit-for-bit identical.
 	Seed uint64
@@ -264,6 +274,10 @@ func (cfg *Config) observer() Observer {
 // round when no observer is attached.
 func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
 	model, obs := cfg.Model, cfg.observer()
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
 	n := len(envs)
 	h := make(eventHeap, 0, n)
 	for i := 0; i < n; i++ {
@@ -283,6 +297,14 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 	)
 
 	for active > 0 {
+		// Cooperative abort: one non-blocking check per round boundary
+		// keeps a cancelled (or timed-out) run from burning CPU through
+		// the rest of its simulation.
+		select {
+		case <-done:
+			return fmt.Errorf("%w: %w", ErrAborted, context.Cause(cfg.Ctx))
+		default:
+		}
 		r := h.peekRound()
 		if r >= maxRounds {
 			return fmt.Errorf("%w (cap %d)", ErrMaxRounds, maxRounds)

@@ -2,8 +2,10 @@ package radio
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"radiomis/internal/graph"
 )
@@ -343,6 +345,62 @@ func TestMaxRoundsAbortsSleepers(t *testing.T) {
 	})
 	if !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestContextAbortsRun(t *testing.T) {
+	// A cancelled Config.Ctx must stop a run whose program never halts,
+	// returning ErrAborted wrapping the cancellation cause.
+	g := graph.New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		_, err := Run(g, Config{Model: ModelCD, Seed: 1, Ctx: ctx}, func(env *Env) int64 {
+			for {
+				if env.Round() == 3 {
+					select {
+					case started <- struct{}{}:
+					default:
+					}
+				}
+				env.Listen() // never halts
+			}
+		})
+		errc <- err
+	}()
+	<-started // the run is live before we cancel
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abort after cancellation")
+	}
+}
+
+func TestContextPreCancelledAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.New(1)
+	_, err := Run(g, Config{Model: ModelNoCD, Seed: 1, Ctx: ctx}, func(env *Env) int64 {
+		env.Listen()
+		return 0
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+func TestNilContextRuns(t *testing.T) {
+	g := graph.New(1)
+	if _, err := Run(g, Config{Model: ModelCD, Seed: 1}, func(env *Env) int64 { return 7 }); err != nil {
+		t.Fatalf("nil-ctx run failed: %v", err)
 	}
 }
 

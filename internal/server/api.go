@@ -1,0 +1,194 @@
+// Package server implements radiomisd's simulation-as-a-service layer: an
+// HTTP JSON API that accepts simulation jobs (whole reproduction
+// experiments or single-algorithm runs), executes them on a bounded worker
+// pool with backpressure, deduplicates identical in-flight submissions
+// (single-flight), caches results in an LRU keyed by the canonical request
+// hash, and streams per-job progress as JSON lines built on internal/obs.
+//
+// The wire schema is versioned as SchemaVersion ("radiomis.server/v1") and
+// documented in docs/api.md; experiment results embed the
+// "radiomis.benchsuite/v1" experiment records, so a job's metrics are
+// byte-comparable with a `benchsuite -json` run at the same seed.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"radiomis/internal/experiments"
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+	"radiomis/internal/stats"
+)
+
+// SchemaVersion identifies the radiomisd wire format. Bump it on any
+// backwards-incompatible change to the types below.
+const SchemaVersion = "radiomis.server/v1"
+
+// Job kinds accepted by POST /v1/jobs.
+const (
+	// KindExperiment runs one registered reproduction experiment (E1–E13)
+	// exactly as cmd/benchsuite would.
+	KindExperiment = "experiment"
+	// KindSolve runs one MIS algorithm repeatedly on a generated graph
+	// family and reports aggregate metrics.
+	KindSolve = "solve"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// solvers maps wire algorithm names to the context-aware MIS entry points.
+var solvers = map[string]func(context.Context, *graph.Graph, mis.Params, uint64) (*mis.Result, error){
+	"cd":            mis.SolveCDContext,
+	"beep":          mis.SolveBeepContext,
+	"nocd":          mis.SolveNoCDContext,
+	"lowdegree":     mis.SolveLowDegreeContext,
+	"naive-cd":      mis.SolveNaiveCDContext,
+	"naive-nocd":    mis.SolveNaiveNoCDContext,
+	"unknown-delta": mis.SolveUnknownDeltaContext,
+}
+
+// JobRequest is the body of POST /v1/jobs. Exactly the fields relevant to
+// the requested kind are honored; Normalize canonicalizes the rest so that
+// equivalent requests hash to the same cache key.
+type JobRequest struct {
+	// Kind selects the job type: "experiment" or "solve".
+	Kind string `json:"kind"`
+
+	// Experiment is the experiment ID (e.g. "E2"); experiment jobs only.
+	Experiment string `json:"experiment,omitempty"`
+	// Quick runs the experiment at smoke-test scale.
+	Quick bool `json:"quick,omitempty"`
+
+	// Algorithm names the solver ("cd", "nocd", "beep", "lowdegree",
+	// "naive-cd", "naive-nocd", "unknown-delta"); solve jobs only.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Family is the generated graph family (default "gnp").
+	Family string `json:"family,omitempty"`
+	// N is the approximate graph size; required for solve jobs.
+	N int `json:"n,omitempty"`
+	// Trials is the number of repeated runs (default 1). Trial i uses the
+	// derived seed rng.Mix(Seed, i), exactly like the benchmark harness.
+	Trials int `json:"trials,omitempty"`
+
+	// Seed makes the job reproducible (and is part of the cache key).
+	Seed uint64 `json:"seed"`
+}
+
+// Normalize validates the request and rewrites it into canonical form:
+// experiment IDs get their registry case, defaults are filled in, and
+// fields irrelevant to the kind are cleared. Two requests describing the
+// same computation normalize to identical structs (and thus one Key).
+func (r *JobRequest) Normalize() error {
+	switch r.Kind {
+	case KindExperiment:
+		def, err := experiments.Lookup(r.Experiment)
+		if err != nil {
+			return err
+		}
+		r.Experiment = def.ID
+		r.Algorithm, r.Family, r.N, r.Trials = "", "", 0, 0
+	case KindSolve:
+		if _, ok := solvers[r.Algorithm]; !ok {
+			return fmt.Errorf("unknown algorithm %q", r.Algorithm)
+		}
+		if r.Family == "" {
+			r.Family = graph.FamilyGNP.String()
+		}
+		if _, err := graph.ParseFamily(r.Family); err != nil {
+			return err
+		}
+		if r.N < 1 {
+			return fmt.Errorf("n = %d, want ≥ 1", r.N)
+		}
+		if r.Trials < 1 {
+			r.Trials = 1
+		}
+		r.Experiment, r.Quick = "", false
+	default:
+		return fmt.Errorf("unknown kind %q (want %q or %q)", r.Kind, KindExperiment, KindSolve)
+	}
+	return nil
+}
+
+// Key returns the canonical cache key: the hex SHA-256 of the normalized
+// request's JSON encoding (struct field order is fixed, so the encoding is
+// canonical). Call Normalize first.
+func (r JobRequest) Key() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A JobRequest of plain scalars cannot fail to marshal.
+		panic(fmt.Sprintf("server: marshal job request: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// JobStatus is the wire representation of a job, returned by the submit,
+// status, and cancel endpoints.
+type JobStatus struct {
+	Schema      string     `json:"schema"`
+	ID          string     `json:"id"`
+	State       string     `json:"state"`
+	Cached      bool       `json:"cached"`
+	Request     JobRequest `json:"request"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// JobResult is a completed job's payload; exactly one field is set,
+// matching the request kind.
+type JobResult struct {
+	// Experiment is the benchsuite-schema record for experiment jobs —
+	// identical (modulo durationMs) to the corresponding entry of
+	// `benchsuite -json` at the same seed and scale.
+	Experiment *experiments.JSONExperiment `json:"experiment,omitempty"`
+	// Solve carries aggregate metrics for single-algorithm jobs.
+	Solve *SolveResult `json:"solve,omitempty"`
+}
+
+// SolveResult summarizes a repeated single-algorithm run.
+type SolveResult struct {
+	Algorithm string                   `json:"algorithm"`
+	Family    string                   `json:"family"`
+	N         int                      `json:"n"`
+	Trials    int                      `json:"trials"`
+	Metrics   map[string]stats.Summary `json:"metrics"`
+}
+
+// JobList is the response of GET /v1/jobs.
+type JobList struct {
+	Schema string       `json:"schema"`
+	Jobs   []*JobStatus `json:"jobs"`
+}
+
+// Event shapes streamed by GET /v1/jobs/{id}/events. Every line is one
+// self-contained JSON object with an "ev" discriminator ("state" or
+// "progress"), mirroring the internal/obs JSONL convention.
+type stateEvent struct {
+	Ev    string `json:"ev"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type progressEvent struct {
+	Ev    string  `json:"ev"`
+	Stage string  `json:"stage"`
+	Done  int     `json:"done"`
+	Total int     `json:"total"`
+	X     float64 `json:"x,omitempty"`
+}

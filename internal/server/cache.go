@@ -1,0 +1,57 @@
+package server
+
+import "container/list"
+
+// resultCache is a fixed-capacity LRU mapping canonical request keys to
+// completed job results. It is not safe for concurrent use; the Manager
+// serializes access under its own mutex.
+type resultCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val *JobResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, promoting it to most recent.
+func (c *resultCache) Get(key string) (*JobResult, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when over capacity. A non-positive capacity disables the cache.
+func (c *resultCache) Put(key string, val *JobResult) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int { return c.ll.Len() }

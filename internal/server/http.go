@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler returns the radiomisd HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202 created, 200 cache/dedup hit,
+//	                            400 invalid, 429 queue full, 503 draining)
+//	GET    /v1/jobs             list all known jobs
+//	GET    /v1/jobs/{id}        job status and, when done, its result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream progress as JSON lines (follows until
+//	                            the job is terminal)
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus-style plain-text counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, JobList{Schema: SchemaVersion, Jobs: m.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "schema": SchemaVersion})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(m, w)
+	})
+	return mux
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, created, err := m.Submit(req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusOK // cache hit or coalesced onto an in-flight job
+	st := job.Status()
+	if created && !st.Cached {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, st)
+}
+
+func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	next := 0
+	for {
+		lines, updated, terminal := j.Events(next)
+		for _, line := range lines {
+			w.Write(line)
+			w.Write([]byte("\n"))
+		}
+		next += len(lines)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func handleMetrics(m *Manager, w http.ResponseWriter) {
+	s := m.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "radiomisd_jobs_submitted_total %d\n", s.Submitted)
+	fmt.Fprintf(w, "radiomisd_jobs_executed_total %d\n", s.Executed)
+	fmt.Fprintf(w, "radiomisd_jobs_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(w, "radiomisd_jobs_dedup_hits_total %d\n", s.DedupHits)
+	fmt.Fprintf(w, "radiomisd_jobs_done_total %d\n", s.Done)
+	fmt.Fprintf(w, "radiomisd_jobs_failed_total %d\n", s.Failed)
+	fmt.Fprintf(w, "radiomisd_jobs_canceled_total %d\n", s.Canceled)
+	fmt.Fprintf(w, "radiomisd_queue_rejected_total %d\n", s.QueueRejected)
+	fmt.Fprintf(w, "radiomisd_queue_depth %d\n", s.QueueDepth)
+	fmt.Fprintf(w, "radiomisd_cache_entries %d\n", s.CacheLen)
+	fmt.Fprintf(w, "radiomisd_workers %d\n", s.Workers)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,505 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"radiomis/internal/experiments"
+	"radiomis/internal/graph"
+	"radiomis/internal/harness"
+	"radiomis/internal/mis"
+	"radiomis/internal/obs"
+	"radiomis/internal/rng"
+	"radiomis/internal/stats"
+)
+
+// Sentinel errors surfaced by Submit; the HTTP layer maps them to status
+// codes (400 / 429 / 503).
+var (
+	ErrBadRequest = errors.New("server: invalid job request")
+	ErrQueueFull  = errors.New("server: job queue full")
+	ErrDraining   = errors.New("server: shutting down")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 16);
+	// submissions beyond it are rejected with ErrQueueFull.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity (default 64 entries;
+	// negative disables caching).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 64
+	}
+	return o
+}
+
+// Metrics is a point-in-time snapshot of the manager's counters, exposed
+// by GET /metrics.
+type Metrics struct {
+	Submitted     uint64 // accepted submissions (including cache/dedup hits)
+	Executed      uint64 // jobs that actually started running a simulation
+	CacheHits     uint64 // submissions answered from the result cache
+	DedupHits     uint64 // submissions coalesced onto an in-flight job
+	Done          uint64 // jobs finished successfully
+	Failed        uint64 // jobs finished with an error
+	Canceled      uint64 // jobs canceled before or during execution
+	QueueRejected uint64 // submissions rejected with ErrQueueFull
+	QueueDepth    int    // jobs currently waiting
+	CacheLen      int    // entries currently cached
+	Workers       int    // configured worker count
+}
+
+// Manager owns the job lifecycle: a bounded queue feeding a fixed worker
+// pool, a single-flight table coalescing identical in-flight submissions,
+// and an LRU cache serving identical resubmissions without re-running.
+type Manager struct {
+	opts Options
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu       sync.Mutex // guards everything below (and is never held while running a job)
+	jobs     map[string]*Job
+	order    []string        // job IDs in submission order
+	inflight map[string]*Job // canonical key → queued-or-running job
+	cache    *resultCache
+	queue    chan *Job
+	seq      int
+	draining bool
+	counts   struct {
+		submitted, executed, cacheHits, dedupHits uint64
+		done, failed, canceled, queueRejected     uint64
+	}
+
+	wg sync.WaitGroup
+}
+
+// New starts a manager with opts.Workers executor goroutines. Call
+// Shutdown to stop it.
+func New(opts Options) *Manager {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		cache:      newResultCache(opts.CacheSize),
+		queue:      make(chan *Job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Job is one submitted simulation run.
+type Job struct {
+	id          string
+	key         string
+	req         JobRequest
+	cached      bool
+	submittedAt time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu              sync.Mutex // guards the mutable fields below
+	state           string
+	startedAt       time.Time
+	finishedAt      time.Time
+	errMsg          string
+	result          *JobResult
+	cancelRequested bool
+	events          [][]byte
+	notify          chan struct{} // closed and replaced on every event append
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns a wire-format snapshot of the job.
+func (j *Job) Status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		Schema:      SchemaVersion,
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		Request:     j.req,
+		SubmittedAt: j.submittedAt,
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Events returns the JSONL event lines from index `from` on, a channel
+// closed when further events arrive, and whether the job is terminal (no
+// more events will ever arrive once the returned slice is consumed).
+func (j *Job) Events(from int) (lines [][]byte, updated <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		lines = j.events[from:]
+	}
+	return lines, j.notify, isTerminal(j.state)
+}
+
+func isTerminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// appendEventLocked marshals and records ev; callers hold j.mu.
+func (j *Job) appendEventLocked(ev any) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	j.events = append(j.events, b)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendEvent records a progress event (called from worker goroutines).
+func (j *Job) appendEvent(ev any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEventLocked(ev)
+}
+
+// setStateLocked transitions the job and records the state event in one
+// critical section, so event readers never observe a terminal state with
+// the final event missing. Callers hold j.mu.
+func (j *Job) setStateLocked(state, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	now := time.Now()
+	switch state {
+	case StateRunning:
+		j.startedAt = now
+	case StateDone, StateFailed, StateCanceled:
+		j.finishedAt = now
+	}
+	j.appendEventLocked(stateEvent{Ev: "state", State: state, Error: errMsg})
+	if isTerminal(state) {
+		close(j.done)
+	}
+}
+
+// newJobLocked allocates a job in the queued state; callers hold m.mu.
+func (m *Manager) newJobLocked(req JobRequest, key string) *Job {
+	m.seq++
+	ctx, cancel := context.WithCancel(m.rootCtx)
+	j := &Job{
+		id:          fmt.Sprintf("j%06d", m.seq),
+		key:         key,
+		req:         req,
+		submittedAt: time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       StateQueued,
+		notify:      make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	j.mu.Lock()
+	j.appendEventLocked(stateEvent{Ev: "state", State: StateQueued})
+	j.mu.Unlock()
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j
+}
+
+// Submit validates and enqueues a job. Identical resubmissions are served
+// from the result cache (a new job born in the done state with Cached set)
+// or coalesced onto the identical in-flight job (single-flight; created is
+// false). ErrQueueFull signals backpressure: the caller should retry later.
+func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
+	if err := req.Normalize(); err != nil {
+		return nil, false, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	key := req.Key()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	m.counts.submitted++
+
+	if res, ok := m.cache.Get(key); ok {
+		m.counts.cacheHits++
+		j := m.newJobLocked(req, key)
+		j.mu.Lock()
+		j.cached = true
+		j.result = res
+		j.startedAt = time.Now()
+		j.setStateLocked(StateDone, "")
+		j.mu.Unlock()
+		return j, true, nil
+	}
+	if j, ok := m.inflight[key]; ok {
+		m.counts.dedupHits++
+		return j, false, nil
+	}
+
+	j := m.newJobLocked(req, key)
+	select {
+	case m.queue <- j:
+	default:
+		m.counts.queueRejected++
+		// Unregister: the job never existed as far as clients can tell.
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		j.cancel()
+		return nil, false, ErrQueueFull
+	}
+	m.inflight[key] = j
+	return j, true, nil
+}
+
+// Job returns the job with the given ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots of every known job in submission order.
+func (m *Manager) Jobs() []*JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]*JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job is canceled
+// immediately; a running job has its context cancelled, which aborts the
+// radio engine at the next round boundary. Terminal jobs are unaffected.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.setStateLocked(StateCanceled, "canceled before start")
+		delete(m.inflight, j.key)
+		m.counts.canceled++
+	case StateRunning:
+		j.cancelRequested = true
+	}
+	j.mu.Unlock()
+	m.mu.Unlock()
+	j.cancel()
+	return j, true
+}
+
+// Metrics returns a snapshot of the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Submitted:     m.counts.submitted,
+		Executed:      m.counts.executed,
+		CacheHits:     m.counts.cacheHits,
+		DedupHits:     m.counts.dedupHits,
+		Done:          m.counts.done,
+		Failed:        m.counts.failed,
+		Canceled:      m.counts.canceled,
+		QueueRejected: m.counts.queueRejected,
+		QueueDepth:    len(m.queue),
+		CacheLen:      m.cache.Len(),
+		Workers:       m.opts.Workers,
+	}
+}
+
+// Shutdown drains the manager: no new submissions are accepted, queued and
+// running jobs are given until ctx expires to finish, then the remainder
+// are aborted through their contexts. It returns ctx.Err() if the deadline
+// forced an abort.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.rootCancel() // abort in-flight engine runs
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while waiting; Cancel already finalized it.
+		j.mu.Unlock()
+		return
+	}
+	j.setStateLocked(StateRunning, "")
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.counts.executed++
+	m.mu.Unlock()
+
+	// Stream harness/sweep progress into the job's event log.
+	ctx := obs.ContextWithProgress(j.ctx, func(ev obs.ProgressEvent) {
+		j.appendEvent(progressEvent{Ev: "progress", Stage: ev.Stage, Done: ev.Done, Total: ev.Total, X: ev.X})
+	})
+	res, err := execute(ctx, j.req)
+	m.finish(j, res, err)
+}
+
+func (m *Manager) finish(j *Job, res *JobResult, err error) {
+	m.mu.Lock()
+	delete(m.inflight, j.key)
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		m.cache.Put(j.key, res)
+		m.counts.done++
+		j.result = res
+		j.setStateLocked(StateDone, "")
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		m.counts.canceled++
+		j.setStateLocked(StateCanceled, err.Error())
+	default:
+		m.counts.failed++
+		j.setStateLocked(StateFailed, err.Error())
+	}
+	j.mu.Unlock()
+	m.mu.Unlock()
+	j.cancel() // release the job context's resources
+}
+
+// execute runs the simulation described by a normalized request.
+func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
+	switch req.Kind {
+	case KindExperiment:
+		def, err := experiments.Lookup(req.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		cfg := experiments.Config{Seed: req.Seed, Quick: req.Quick}
+		start := time.Now()
+		rep, err := def.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Route the report through the benchsuite serializer so the job's
+		// record matches `benchsuite -json` field for field.
+		jr := experiments.NewJSONReport(cfg)
+		jr.Add(rep, time.Since(start))
+		return &JobResult{Experiment: &jr.Experiments[0]}, nil
+
+	case KindSolve:
+		fam, err := graph.ParseFamily(req.Family)
+		if err != nil {
+			return nil, err
+		}
+		solve := solvers[req.Algorithm]
+		agg, err := harness.Repeat(ctx, harness.Options{Trials: req.Trials, Seed: req.Seed},
+			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+				g := graph.Generate(fam, req.N, rng.New(seed))
+				p := mis.ParamsDefault(g.N(), g.MaxDegree())
+				res, err := solve(ctx, g, p, seed)
+				if err != nil {
+					return nil, err
+				}
+				success := 1.0
+				if res.Check(g) != nil {
+					success = 0
+				}
+				return harness.Metrics{
+					"maxEnergy": float64(res.MaxEnergy()),
+					"avgEnergy": res.AvgEnergy(),
+					"rounds":    float64(res.Rounds),
+					"success":   success,
+				}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sr := &SolveResult{
+			Algorithm: req.Algorithm,
+			Family:    req.Family,
+			N:         req.N,
+			Trials:    req.Trials,
+			Metrics:   make(map[string]stats.Summary),
+		}
+		for _, name := range agg.Names() {
+			sr.Metrics[name] = agg.Summary(name)
+		}
+		return &JobResult{Solve: sr}, nil
+	}
+	return nil, fmt.Errorf("server: unexecutable kind %q", req.Kind)
+}
