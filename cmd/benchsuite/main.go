@@ -1,7 +1,8 @@
-// Command benchsuite regenerates the reproduction experiments E1–E9 (one
-// per quantitative claim of the paper — see DESIGN.md's per-experiment
-// index) and prints their result tables. EXPERIMENTS.md records the
-// expected shapes and a reference run's numbers.
+// Command benchsuite regenerates the reproduction experiments E1–E14 (one
+// per quantitative claim of the paper, plus the E14 fault-injection
+// robustness sweeps — see DESIGN.md's per-experiment index) and prints
+// their result tables. EXPERIMENTS.md records the expected shapes and a
+// reference run's numbers.
 //
 // Usage:
 //

@@ -7,24 +7,41 @@
 //	radiomis -algo cd -graph gnp -n 1024 -seed 7
 //	radiomis -algo nocd -graph unitdisk -n 256 -trials 5
 //	radiomis -algo cd -graph grid -n 400 -v      # per-node dump
+//	radiomis -algo cd -n 512 -faults loss=0.2,crash=0.01,restart=16
 //
 // Algorithms: cd, beep, nocd, lowdegree, naive-cd, naive-nocd,
 // unknown-delta. Graphs: gnp, unitdisk, grid, tree, hypercube, clique,
 // cycle, star, lowerbound, prefattach.
+//
+// With -faults, runs are perturbed by the internal/faults profile (keys:
+// loss, noise, jam, jam-threshold, jam-prob, crash, restart, max-restarts,
+// wake-spread) and validity is judged on the surviving subgraph. A run cut
+// short by -timeout or Ctrl-C exits with status 2 and a distinct message.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/mis"
+	"radiomis/internal/radio"
 	"radiomis/internal/rng"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	switch {
+	case err == nil:
+	case errors.Is(err, radio.ErrAborted):
+		fmt.Fprintln(os.Stderr, "radiomis: run aborted before completing (timeout or interrupt):", err)
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "radiomis:", err)
 		os.Exit(1)
 	}
@@ -33,13 +50,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("radiomis", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "cd", "algorithm: cd|beep|nocd|lowdegree|naive-cd|naive-nocd|unknown-delta")
-		family  = fs.String("graph", "gnp", "graph family (gnp, unitdisk, grid, tree, hypercube, clique, cycle, star, lowerbound, prefattach)")
-		n       = fs.Int("n", 256, "approximate number of nodes")
-		seed    = fs.Uint64("seed", 1, "random seed (graph and run are deterministic in it)")
-		trialsN = fs.Int("trials", 1, "number of runs over distinct seeds")
-		paper   = fs.Bool("paper-params", false, "use the paper's conservative constants (slow)")
-		verbose = fs.Bool("v", false, "print per-node status and energy")
+		algo     = fs.String("algo", "cd", "algorithm: cd|beep|nocd|lowdegree|naive-cd|naive-nocd|unknown-delta")
+		family   = fs.String("graph", "gnp", "graph family (gnp, unitdisk, grid, tree, hypercube, clique, cycle, star, lowerbound, prefattach)")
+		n        = fs.Int("n", 256, "approximate number of nodes")
+		seed     = fs.Uint64("seed", 1, "random seed (graph and run are deterministic in it)")
+		trialsN  = fs.Int("trials", 1, "number of runs over distinct seeds")
+		paper    = fs.Bool("paper-params", false, "use the paper's conservative constants (slow)")
+		faultStr = fs.String("faults", "", "fault profile spec, e.g. loss=0.1,jam=64,crash=0.005,restart=16")
+		timeout  = fs.Duration("timeout", 0, "abort runs that exceed this wall-clock budget (0 = none)")
+		verbose  = fs.Bool("v", false, "print per-node status and energy")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,9 +68,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	solve, err := solver(*algo)
+	if _, err := solver(*algo); err != nil {
+		return err
+	}
+	fp, err := faults.ParseSpec(*faultStr)
 	if err != nil {
 		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	for trial := 0; trial < *trialsN; trial++ {
@@ -61,16 +91,24 @@ func run(args []string) error {
 		if *paper {
 			p = mis.ParamsPaper(g.N(), g.MaxDegree())
 		}
-		res, err := solve(g, p, trialSeed)
+		res, err := mis.SolveWithFaults(ctx, *algo, g, p, trialSeed, fp)
 		if err != nil {
 			return err
 		}
 		validity := "VALID"
-		if err := res.Check(g); err != nil {
-			validity = fmt.Sprintf("INVALID (%v)", err)
+		check := res.Check(g)
+		if !fp.IsZero() {
+			check = res.CheckSurvivors(g)
+		}
+		if check != nil {
+			validity = fmt.Sprintf("INVALID (%v)", check)
 		}
 		fmt.Printf("trial %d: %s  algo=%s  |MIS|=%d  maxEnergy=%d  avgEnergy=%.1f  rounds=%d  %s\n",
 			trial, g, *algo, res.SetSize(), res.MaxEnergy(), res.AvgEnergy(), res.Rounds, validity)
+		if res.Faults != nil {
+			fmt.Printf("  faults: %s  lost=%d noised=%d jams=%d crashed=%d restarts=%d\n",
+				fp, res.Faults.Lost, res.Faults.Noised, res.Faults.Jams, res.CrashCount(), res.Faults.Restarts)
+		}
 		if *verbose {
 			for v := range res.Status {
 				fmt.Printf("  node %4d  %-9s energy=%d\n", v, res.Status[v], res.Energy[v])
@@ -80,6 +118,10 @@ func run(args []string) error {
 	return nil
 }
 
+// solver validates an algorithm name and returns its classic (context-free,
+// fault-free) entry point. Runs themselves go through mis.SolveWithFaults,
+// which resolves the same registry; this shim keeps the historical lookup
+// API for callers and tests.
 func solver(name string) (func(*graph.Graph, mis.Params, uint64) (*mis.Result, error), error) {
 	switch name {
 	case "cd":

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"errors"
 	"testing"
+
+	"radiomis/internal/radio"
 )
 
 func TestRunSmallCD(t *testing.T) {
@@ -48,5 +51,27 @@ func TestSolverLookup(t *testing.T) {
 	}
 	if _, err := solver("nope"); err == nil {
 		t.Error("unknown solver accepted")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	if err := run([]string{"-algo", "cd", "-graph", "gnp", "-n", "48",
+		"-faults", "loss=0.2,crash=0.01,restart=8", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	for _, spec := range []string{"loss=2", "bogus=1", "loss"} {
+		if err := run([]string{"-faults", spec, "-n", "8"}); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestRunTimeoutSurfacesErrAborted(t *testing.T) {
+	err := run([]string{"-algo", "cd", "-graph", "gnp", "-n", "4096", "-timeout", "1ns"})
+	if !errors.Is(err, radio.ErrAborted) {
+		t.Fatalf("err = %v, want radio.ErrAborted", err)
 	}
 }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// findPoint returns the metric point of a report at (series, x, metric).
+func findPoint(t *testing.T, rep *Report, series string, x float64, metric string) MetricPoint {
+	t.Helper()
+	for _, pt := range rep.Metrics {
+		if pt.Series == series && pt.X == x && pt.Metric == metric {
+			return pt
+		}
+	}
+	t.Fatalf("%s: no metric point (%s, %g, %s)", rep.ID, series, x, metric)
+	return MetricPoint{}
+}
+
+// TestE14ZeroFaultRowsMatchBaselines enforces the experiment's anchoring
+// guarantee: at equal seed, the x = 0 (zero-fault) rows of E14's cd and
+// nocd sweeps are bit-identical to the E2/E5 measurements at the same
+// (n, trials) — same graphs, same per-trial seeds, same engine code path.
+func TestE14ZeroFaultRowsMatchBaselines(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Seed: 42, Quick: true}
+
+	e14, err := E14Robustness(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := E2CDScaling(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e5, err := E5NoCDScaling(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quick geometry: E14 cd sweeps pin n=256 (an E2 quick size), nocd
+	// sweeps pin n=128 (an E5 quick size); see e14Scale.
+	metrics := []string{"maxEnergy", "avgEnergy", "rounds", "success"}
+	compare := func(base *Report, baseSeries string, baseX float64, e14Series string) {
+		for _, m := range metrics {
+			want := findPoint(t, base, baseSeries, baseX, m)
+			got := findPoint(t, e14, e14Series, 0, m)
+			if want.Summary != got.Summary {
+				t.Errorf("%s x=0 %s = %+v, want %s value %+v",
+					e14Series, m, got.Summary, base.ID, want.Summary)
+			}
+		}
+	}
+	for _, series := range []string{"loss/cd", "jam/cd", "crash/cd", "crash-restart/cd"} {
+		compare(e2, "cd/gnp", 256, series)
+	}
+	for _, series := range []string{"loss/nocd", "jam/nocd", "crash/nocd"} {
+		compare(e5, "nocd/gnp", 128, series)
+	}
+
+	// The harsh end of the loss grid must show the cliff: at least one
+	// algorithm's success rate collapses below the clean row's.
+	cliffSeen := false
+	for _, algo := range []string{"cd", "naive-cd", "nocd", "naive-nocd"} {
+		clean := findPoint(t, e14, "loss/"+algo, 0, "success").Summary.Mean
+		harsh := findPoint(t, e14, "loss/"+algo, 0.4, "success").Summary.Mean
+		if harsh < clean {
+			cliffSeen = true
+		}
+	}
+	if !cliffSeen {
+		t.Error("loss 0.4 degraded no algorithm — no cliff to chart")
+	}
+	joined := strings.Join(e14.Notes, "\n")
+	if !strings.Contains(joined, "cliff") || !strings.Contains(joined, "energy inflation") {
+		t.Errorf("notes missing cliff/inflation summaries:\n%s", joined)
+	}
+}

@@ -1,0 +1,232 @@
+// Package faults implements the simulator's pluggable channel-perturbation
+// layer: a Profile composes independent fault models — probabilistic
+// message loss, spurious-collision noise, an energy-budgeted jamming
+// adversary, crash and crash-restart node faults, and adversarial wake-up
+// staggering — that the radio engine applies between transmission and
+// reception. Each model draws from its own SplitMix64-derived stream, so a
+// faulty run is exactly as reproducible as a clean one, and the zero
+// Profile is guaranteed to be bit-identical to the unperturbed engine (the
+// engine skips the injection layer entirely; see the parity property test).
+//
+// The Profile is plain data with a canonical JSON encoding: the same type
+// parameterizes radio.Config.Faults, the `radiomis -faults` flag (via
+// ParseSpec), and the radiomisd job schema.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile composes the fault models of one run. The zero value is the
+// clean §1.1 model: no loss, no noise, no jammer, no crashes, synchronous
+// wake-up.
+type Profile struct {
+	// Loss is the probability that any single transmitter→listener
+	// delivery is dropped, independently per (transmitter, listener) pair
+	// and per round. A lost delivery is invisible to that listener only;
+	// other neighbors may still receive the same transmission.
+	Loss float64 `json:"loss,omitempty"`
+	// Noise is the per-listener per-round probability of spurious
+	// interference: the listener perceives a collision-level signal on top
+	// of whatever its neighbors sent. Under CD this turns silence into a
+	// collision; under no-CD it masks a successful reception as silence;
+	// under beeping it fabricates a beep.
+	Noise float64 `json:"noise,omitempty"`
+	// Jammer configures the energy-budgeted jamming adversary.
+	Jammer Jammer `json:"jammer"`
+	// Crash configures crash and crash-restart node faults.
+	Crash Crash `json:"crash"`
+	// WakeSpread staggers wake-up adversarially: node i starts at a round
+	// drawn uniformly from [0, WakeSpread], breaking the synchronous-start
+	// assumption the paper's algorithms rely on (it generalizes
+	// radio.Config.WakeRound, which pins wake rounds explicitly).
+	WakeSpread uint64 `json:"wakeSpread,omitempty"`
+}
+
+// Jammer is an energy-budgeted adversary that disrupts whole rounds: every
+// listener in a jammed round perceives collision-level interference. The
+// jammer is online — it observes each round's contention (the number of
+// transmitters) as it happens and greedily spends its budget on the
+// contended rounds it can see, the strongest strategy available to an
+// adversary without foreknowledge of the algorithm's random choices.
+type Jammer struct {
+	// Budget is the number of rounds the jammer can jam; 0 disables it.
+	Budget uint64 `json:"budget,omitempty"`
+	// Threshold is the minimum number of observed transmitters that makes
+	// a round worth jamming (0 means 1: any active round qualifies).
+	Threshold int `json:"threshold,omitempty"`
+	// Prob dithers the attack: an eligible round is jammed with this
+	// probability (0 means 1: jam every eligible round while budget
+	// lasts). Values in (0, 1) model a jammer hedging its budget across a
+	// run longer than Budget eligible rounds.
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Crash configures node-failure faults. A crashing node dies immediately
+// before an awake action: the action never happens (a transmission is
+// suppressed, a listen hears nothing) and the node's radio goes silent.
+// With RestartAfter > 0 the node reboots after that many rounds and re-runs
+// its program from scratch — losing all protocol state but keeping its
+// identity, which is how a rebooted device rejoins a real network.
+type Crash struct {
+	// Rate is the per-awake-action crash hazard, drawn independently from
+	// the node's private fault stream; 0 disables crash faults.
+	Rate float64 `json:"rate,omitempty"`
+	// RestartAfter is the reboot delay in rounds; 0 means crash-stop (the
+	// node stays dead).
+	RestartAfter uint64 `json:"restartAfter,omitempty"`
+	// MaxRestarts caps per-node reboots; once exceeded the next crash is
+	// terminal. 0 means unlimited.
+	MaxRestarts int `json:"maxRestarts,omitempty"`
+}
+
+// IsZero reports whether p is the clean profile. The engine skips the
+// injection layer entirely for zero profiles, which is what makes the
+// zero-fault parity guarantee structural rather than probabilistic.
+func (p Profile) IsZero() bool { return p == Profile{} }
+
+// Validate checks every field's range. The zero profile is always valid.
+func (p Profile) Validate() error {
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("faults: loss %v outside [0, 1)", p.Loss)
+	}
+	if p.Noise < 0 || p.Noise >= 1 {
+		return fmt.Errorf("faults: noise %v outside [0, 1)", p.Noise)
+	}
+	if p.Jammer.Threshold < 0 {
+		return fmt.Errorf("faults: jammer threshold %d negative", p.Jammer.Threshold)
+	}
+	if p.Jammer.Prob < 0 || p.Jammer.Prob > 1 {
+		return fmt.Errorf("faults: jammer prob %v outside [0, 1]", p.Jammer.Prob)
+	}
+	if p.Jammer.Budget == 0 && (p.Jammer.Threshold != 0 || p.Jammer.Prob != 0) {
+		return fmt.Errorf("faults: jammer threshold/prob set without a budget")
+	}
+	if p.Crash.Rate < 0 || p.Crash.Rate >= 1 {
+		return fmt.Errorf("faults: crash rate %v outside [0, 1)", p.Crash.Rate)
+	}
+	if p.Crash.Rate == 0 && (p.Crash.RestartAfter != 0 || p.Crash.MaxRestarts != 0) {
+		return fmt.Errorf("faults: crash restart fields set without a rate")
+	}
+	if p.Crash.MaxRestarts < 0 {
+		return fmt.Errorf("faults: max restarts %d negative", p.Crash.MaxRestarts)
+	}
+	if p.Crash.MaxRestarts > 0 && p.Crash.RestartAfter == 0 {
+		return fmt.Errorf("faults: max restarts set on a crash-stop profile")
+	}
+	return nil
+}
+
+// String renders the profile in ParseSpec's key=value syntax (empty for
+// the zero profile), so a profile round-trips through its own flag format.
+func (p Profile) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if p.Loss > 0 {
+		add("loss", trimFloat(p.Loss))
+	}
+	if p.Noise > 0 {
+		add("noise", trimFloat(p.Noise))
+	}
+	if p.Jammer.Budget > 0 {
+		add("jam", strconv.FormatUint(p.Jammer.Budget, 10))
+		if p.Jammer.Threshold > 0 {
+			add("jam-threshold", strconv.Itoa(p.Jammer.Threshold))
+		}
+		if p.Jammer.Prob > 0 {
+			add("jam-prob", trimFloat(p.Jammer.Prob))
+		}
+	}
+	if p.Crash.Rate > 0 {
+		add("crash", trimFloat(p.Crash.Rate))
+		if p.Crash.RestartAfter > 0 {
+			add("restart", strconv.FormatUint(p.Crash.RestartAfter, 10))
+		}
+		if p.Crash.MaxRestarts > 0 {
+			add("max-restarts", strconv.Itoa(p.Crash.MaxRestarts))
+		}
+	}
+	if p.WakeSpread > 0 {
+		add("wake-spread", strconv.FormatUint(p.WakeSpread, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// specKeys maps ParseSpec keys to setters, shared with Keys below.
+var specKeys = map[string]func(*Profile, string) error{
+	"loss":  func(p *Profile, v string) error { return parseProb(v, &p.Loss) },
+	"noise": func(p *Profile, v string) error { return parseProb(v, &p.Noise) },
+	"jam":   func(p *Profile, v string) error { return parseUint(v, &p.Jammer.Budget) },
+	"jam-threshold": func(p *Profile, v string) error {
+		n, err := strconv.Atoi(v)
+		p.Jammer.Threshold = n
+		return err
+	},
+	"jam-prob": func(p *Profile, v string) error { return parseProb(v, &p.Jammer.Prob) },
+	"crash":    func(p *Profile, v string) error { return parseProb(v, &p.Crash.Rate) },
+	"restart":  func(p *Profile, v string) error { return parseUint(v, &p.Crash.RestartAfter) },
+	"max-restarts": func(p *Profile, v string) error {
+		n, err := strconv.Atoi(v)
+		p.Crash.MaxRestarts = n
+		return err
+	},
+	"wake-spread": func(p *Profile, v string) error { return parseUint(v, &p.WakeSpread) },
+}
+
+// Keys returns the spec keys ParseSpec accepts, sorted — for usage text.
+func Keys() []string {
+	keys := make([]string, 0, len(specKeys))
+	for k := range specKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseSpec parses the comma-separated key=value fault syntax of the
+// `radiomis -faults` flag, e.g.
+//
+//	loss=0.1,noise=0.01,jam=500,jam-threshold=2,crash=0.02,restart=64,wake-spread=100
+//
+// and validates the resulting profile. An empty spec is the zero profile.
+func ParseSpec(spec string) (Profile, error) {
+	var p Profile
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("faults: spec field %q is not key=value", field)
+		}
+		set, known := specKeys[k]
+		if !known {
+			return Profile{}, fmt.Errorf("faults: unknown spec key %q (known: %s)", k, strings.Join(Keys(), ", "))
+		}
+		if err := set(&p, v); err != nil {
+			return Profile{}, fmt.Errorf("faults: spec %s=%q: %w", k, v, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+func parseProb(v string, dst *float64) error {
+	f, err := strconv.ParseFloat(v, 64)
+	*dst = f
+	return err
+}
+
+func parseUint(v string, dst *uint64) error {
+	n, err := strconv.ParseUint(v, 10, 64)
+	*dst = n
+	return err
+}

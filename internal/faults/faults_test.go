@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestZeroProfile(t *testing.T) {
+	var p Profile
+	if !p.IsZero() {
+		t.Error("zero profile not IsZero")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero profile invalid: %v", err)
+	}
+	if s := p.String(); s != "" {
+		t.Errorf("zero profile renders %q, want empty", s)
+	}
+	if (Profile{Loss: 0.1}).IsZero() {
+		t.Error("lossy profile reported zero")
+	}
+}
+
+func TestValidateRejectsBadRanges(t *testing.T) {
+	bad := []Profile{
+		{Loss: -0.1},
+		{Loss: 1},
+		{Noise: 1.5},
+		{Jammer: Jammer{Budget: 1, Prob: 2}},
+		{Jammer: Jammer{Budget: 1, Threshold: -1}},
+		{Jammer: Jammer{Threshold: 2}},            // threshold without budget
+		{Crash: Crash{RestartAfter: 8}},           // restart without rate
+		{Crash: Crash{Rate: 0.1, MaxRestarts: 3}}, // max-restarts without restart delay
+		{Crash: Crash{Rate: 0.1, RestartAfter: 4, MaxRestarts: -1}},
+		{Crash: Crash{Rate: 1}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	good := []Profile{
+		{},
+		{Loss: 0.5, Noise: 0.01},
+		{Jammer: Jammer{Budget: 100, Threshold: 2, Prob: 0.5}},
+		{Crash: Crash{Rate: 0.02, RestartAfter: 16, MaxRestarts: 3}},
+		{WakeSpread: 1024},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", p, err)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	p := Profile{
+		Loss:       0.1,
+		Noise:      0.01,
+		Jammer:     Jammer{Budget: 500, Threshold: 2, Prob: 0.75},
+		Crash:      Crash{Rate: 0.02, RestartAfter: 64, MaxRestarts: 3},
+		WakeSpread: 100,
+	}
+	got, err := ParseSpec(p.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", p.String(), err)
+	}
+	if got != p {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+	if empty, err := ParseSpec("  "); err != nil || !empty.IsZero() {
+		t.Errorf("blank spec: %+v, %v", empty, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"loss",            // no value
+		"bogus=1",         // unknown key
+		"loss=x",          // bad float
+		"jam=-1",          // bad uint
+		"loss=2",          // fails validation
+		"jam-threshold=2", // validation: threshold without budget
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := Profile{Loss: 0.2, Jammer: Jammer{Budget: 32}, Crash: Crash{Rate: 0.01, RestartAfter: 8}}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Profile
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("json round trip: got %+v, want %+v", got, p)
+	}
+}
+
+// drawAll exercises every stochastic model once per call in a fixed order
+// and records the decisions, for determinism comparisons.
+func drawAll(in *Injector, rounds int) []bool {
+	var out []bool
+	for i := 0; i < rounds; i++ {
+		out = append(out,
+			in.CrashesNow(i%7),
+			in.JamRound(2),
+			in.Delivered(),
+			in.NoiseAt(),
+		)
+	}
+	return out
+}
+
+func TestInjectorDeterministicInSeed(t *testing.T) {
+	p := Profile{
+		Loss:       0.3,
+		Noise:      0.1,
+		Jammer:     Jammer{Budget: 10, Prob: 0.5},
+		Crash:      Crash{Rate: 0.2, RestartAfter: 4},
+		WakeSpread: 64,
+	}
+	a := drawAll(NewInjector(p, 42, 7), 200)
+	b := drawAll(NewInjector(p, 42, 7), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically-seeded injectors", i)
+		}
+	}
+	c := drawAll(NewInjector(p, 43, 7), 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault decisions")
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		x := NewInjector(p, seed, 7)
+		y := NewInjector(p, seed, 7)
+		for id := 0; id < 7; id++ {
+			if x.WakeRound(id) != y.WakeRound(id) {
+				t.Fatalf("seed %d: WakeRound(%d) not deterministic", seed, id)
+			}
+			if x.WakeRound(id) > p.WakeSpread {
+				t.Fatalf("WakeRound(%d) = %d exceeds spread %d", id, x.WakeRound(id), p.WakeSpread)
+			}
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	// Enabling an unrelated model must not perturb another model's draws:
+	// the loss decisions of a loss-only profile match those of a
+	// loss+noise+jam profile at the same seed.
+	lossOnly := NewInjector(Profile{Loss: 0.4}, 7, 4)
+	combined := NewInjector(Profile{Loss: 0.4, Noise: 0.3, Jammer: Jammer{Budget: 100, Prob: 0.5}}, 7, 4)
+	for i := 0; i < 500; i++ {
+		combined.NoiseAt()
+		combined.JamRound(3)
+		if lossOnly.Delivered() != combined.Delivered() {
+			t.Fatalf("loss draw %d perturbed by unrelated fault models", i)
+		}
+	}
+}
+
+func TestJammerBudgetAndThreshold(t *testing.T) {
+	in := NewInjector(Profile{Jammer: Jammer{Budget: 3, Threshold: 2}}, 1, 4)
+	if in.JamRound(1) {
+		t.Error("jammed below threshold")
+	}
+	jams := 0
+	for i := 0; i < 10; i++ {
+		if in.JamRound(5) {
+			jams++
+		}
+	}
+	if jams != 3 {
+		t.Errorf("jammed %d rounds on a budget of 3", jams)
+	}
+	if in.Stats().Jams != 3 {
+		t.Errorf("Stats().Jams = %d, want 3", in.Stats().Jams)
+	}
+}
+
+func TestCrashRestartAccounting(t *testing.T) {
+	in := NewInjector(Profile{Crash: Crash{Rate: 0.5, RestartAfter: 16, MaxRestarts: 2}}, 9, 2)
+	// First two crashes of node 0 restart; the third is terminal.
+	for i := 0; i < 2; i++ {
+		delay, ok := in.Restart(0)
+		if !ok || delay != 16 {
+			t.Fatalf("restart %d: (%d, %v), want (16, true)", i, delay, ok)
+		}
+	}
+	if _, ok := in.Restart(0); ok {
+		t.Error("node restarted beyond MaxRestarts")
+	}
+	if _, ok := in.Restart(1); !ok {
+		t.Error("per-node restart budget leaked across nodes")
+	}
+	if s := in.Stats(); s.Restarts != 3 {
+		t.Errorf("Stats().Restarts = %d, want 3", s.Restarts)
+	}
+
+	stop := NewInjector(Profile{Crash: Crash{Rate: 0.5}}, 9, 1)
+	if _, ok := stop.Restart(0); ok {
+		t.Error("crash-stop profile restarted a node")
+	}
+}
+
+func TestCrashHazardRoughlyCalibrated(t *testing.T) {
+	in := NewInjector(Profile{Crash: Crash{Rate: 0.25}}, 3, 1)
+	crashes := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		if in.CrashesNow(0) {
+			crashes++
+		}
+	}
+	got := float64(crashes) / draws
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("empirical crash rate %.3f far from configured 0.25", got)
+	}
+}

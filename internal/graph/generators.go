@@ -273,13 +273,15 @@ func PreferentialAttachment(n, k int, r *rand.Rand) *Graph {
 	}
 	for v := start; v < n; v++ {
 		added := make(map[int]bool, k)
+		ws := make([]int, 0, k)
 		for len(added) < k {
 			w := targets[r.Intn(len(targets))]
 			if w != v && !added[w] {
 				added[w] = true
+				ws = append(ws, w) // draw order, not map order: keeps runs seed-deterministic
 			}
 		}
-		for w := range added {
+		for _, w := range ws {
 			g.mustAddEdge(v, w)
 			targets = append(targets, v, w)
 		}

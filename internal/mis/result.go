@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/radio"
 )
@@ -13,11 +14,14 @@ type Status int64
 
 // Node verdicts. StatusUndecided means the algorithm's phase budget ran out
 // before the node decided — a (low-probability) algorithm failure that
-// Result.Check reports.
+// Result.Check reports. StatusCrashed means the fault layer terminally
+// killed the node (only possible under a crash-fault profile; see
+// SolveWithFaults); a crashed node has no verdict of its own.
 const (
 	StatusUndecided Status = 0
 	StatusInMIS     Status = 1
 	StatusOutMIS    Status = 2
+	StatusCrashed   Status = 3
 )
 
 // String returns the status's canonical name.
@@ -29,6 +33,8 @@ func (s Status) String() string {
 		return "in-mis"
 	case StatusOutMIS:
 		return "out-mis"
+	case StatusCrashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("status(%d)", int64(s))
 	}
@@ -49,6 +55,12 @@ type Result struct {
 	Rounds uint64
 	// Undecided counts nodes that failed to decide.
 	Undecided int
+	// Crashed marks nodes the fault layer terminally killed (their Status
+	// is StatusCrashed). nil unless the run had crash faults enabled.
+	Crashed []bool
+	// Faults counts the fault events the run experienced. nil for clean
+	// runs.
+	Faults *faults.Stats
 }
 
 // haltTracer records each node's halting round.
@@ -69,8 +81,15 @@ func (t *haltTracer) NodeHalted(id int, _ int64, _ uint64, round uint64) {
 // instrumentation. All Solve functions go through it; ctx bounds the
 // simulation (the engine aborts cooperatively at round granularity).
 func runProgram(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, program radio.Program) (*Result, error) {
+	return runProgramFaults(ctx, g, model, seed, faults.Profile{}, program)
+}
+
+// runProgramFaults is runProgram with a fault profile attached to the
+// simulation. The zero profile is exactly runProgram (the engine skips the
+// injection layer entirely).
+func runProgramFaults(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, fp faults.Profile, program radio.Program) (*Result, error) {
 	tracer := &haltTracer{rounds: make([]uint64, g.N())}
-	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer}, program)
+	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer, Faults: fp}, program)
 	if err != nil {
 		return nil, err
 	}
@@ -79,16 +98,25 @@ func runProgram(ctx context.Context, g *graph.Graph, model radio.Model, seed uin
 	return res, nil
 }
 
-// newResult converts a raw simulation result into an MIS result.
+// newResult converts a raw simulation result into an MIS result. Nodes the
+// fault layer terminally crashed get StatusCrashed — their program output
+// never materialized, so whatever the engine recorded for them is
+// meaningless and must not be read as a verdict.
 func newResult(rr *radio.Result) *Result {
 	n := len(rr.Outputs)
 	res := &Result{
-		Status: make([]Status, n),
-		InMIS:  make([]bool, n),
-		Energy: rr.Energy,
-		Rounds: rr.Rounds,
+		Status:  make([]Status, n),
+		InMIS:   make([]bool, n),
+		Energy:  rr.Energy,
+		Rounds:  rr.Rounds,
+		Crashed: rr.Crashed,
+		Faults:  rr.Faults,
 	}
 	for i, out := range rr.Outputs {
+		if rr.Crashed != nil && rr.Crashed[i] {
+			res.Status[i] = StatusCrashed
+			continue
+		}
 		s := Status(out)
 		res.Status[i] = s
 		switch s {
@@ -127,12 +155,95 @@ func (r *Result) AvgEnergy() float64 {
 // SetSize returns the number of nodes in the computed set.
 func (r *Result) SetSize() int { return graph.SetSize(r.InMIS) }
 
+// CrashCount returns the number of terminally crashed nodes (0 for clean
+// runs).
+func (r *Result) CrashCount() int {
+	c := 0
+	for _, dead := range r.Crashed {
+		if dead {
+			c++
+		}
+	}
+	return c
+}
+
 // Check verifies that the run produced a correct MIS of g: every node
 // decided, the set is independent, and the set is maximal. A nil error
-// means full success.
+// means full success. A run with terminally crashed nodes always fails this
+// check — a dead node cannot satisfy the MIS conditions of the original
+// graph; use CheckSurvivors for the fault-tolerance success criterion.
 func (r *Result) Check(g *graph.Graph) error {
+	if c := r.CrashCount(); c > 0 {
+		return fmt.Errorf("mis: %d nodes crashed (full-graph MIS impossible; see CheckSurvivors)", c)
+	}
 	if r.Undecided > 0 {
 		return fmt.Errorf("mis: %d nodes undecided", r.Undecided)
 	}
 	return graph.CheckMIS(g, r.InMIS)
+}
+
+// CheckSurvivors verifies the fault-tolerance success criterion: restricted
+// to the subgraph induced by surviving (non-crashed) nodes, every survivor
+// decided, the computed set is independent, and it is maximal — every
+// out-of-set survivor has a surviving in-set neighbor. On crash-free runs
+// it coincides with Check.
+func (r *Result) CheckSurvivors(g *graph.Graph) error {
+	for v := 0; v < g.N(); v++ {
+		switch r.Status[v] {
+		case StatusCrashed:
+			// Dead nodes are exempt from every condition.
+		case StatusUndecided:
+			return fmt.Errorf("mis: surviving node %d undecided", v)
+		}
+	}
+	if k := r.IndependenceViolations(g); k > 0 {
+		return fmt.Errorf("mis: %d independence violations among survivors", k)
+	}
+	if k := r.UncoveredOut(g); k > 0 {
+		return fmt.Errorf("mis: %d surviving nodes neither in the set nor covered by a surviving member", k)
+	}
+	return nil
+}
+
+// IndependenceViolations counts edges with both endpoints in the computed
+// set — the safety failures a perturbed channel can cause (e.g. a lost or
+// jammed "I won" announcement lets two neighbors both join). Crashed nodes
+// are never in the set, so the count naturally ranges over survivors.
+func (r *Result) IndependenceViolations(g *graph.Graph) int {
+	k := 0
+	for v := 0; v < g.N(); v++ {
+		if !r.InMIS[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if w > v && r.InMIS[w] {
+				k++
+			}
+		}
+	}
+	return k
+}
+
+// UncoveredOut counts surviving nodes that are neither in the computed set
+// nor adjacent to a surviving set member — the liveness (maximality)
+// failures of a perturbed run. A neighbor that joined the set and then
+// terminally crashed does not cover anyone: its slot in the network is dead.
+func (r *Result) UncoveredOut(g *graph.Graph) int {
+	k := 0
+	for v := 0; v < g.N(); v++ {
+		if r.InMIS[v] || (r.Crashed != nil && r.Crashed[v]) {
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(v) {
+			if r.InMIS[w] && (r.Crashed == nil || !r.Crashed[w]) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			k++
+		}
+	}
+	return k
 }

@@ -20,7 +20,11 @@ type jsonlRx struct {
 	ID          int    `json:"id"`
 	Phase       string `json:"phase,omitempty"`
 	TxNeighbors int    `json:"txNeighbors"`
-	Outcome     string `json:"outcome"`
+	// Lost is the number of this listener's incoming transmissions dropped
+	// by the fault layer (TxNeighbors − Delivered); omitted when zero so
+	// clean-run output is byte-identical to the pre-fault format.
+	Lost    int    `json:"lost,omitempty"`
+	Outcome string `json:"outcome"`
 }
 
 type jsonlRound struct {
@@ -31,6 +35,11 @@ type jsonlRound struct {
 	Successes  int       `json:"successes"`
 	Collisions int       `json:"collisions"`
 	Silences   int       `json:"silences"`
+	// Fault-layer fields, all omitted on clean runs (see jsonlRx.Lost).
+	Jammed  bool  `json:"jammed,omitempty"`
+	Lost    int   `json:"lost,omitempty"`
+	Noised  int   `json:"noised,omitempty"`
+	Crashed []int `json:"crashed,omitempty"`
 }
 
 type jsonlHalt struct {
@@ -75,6 +84,12 @@ func (j *JSONLWriter) ObserveRound(s *radio.RoundStats) {
 		Successes:  s.Successes,
 		Collisions: s.Collisions,
 		Silences:   s.Silences,
+		Jammed:     s.Jammed,
+		Lost:       s.Lost,
+		Noised:     s.Noised,
+	}
+	if len(s.Crashed) > 0 {
+		ev.Crashed = append(ev.Crashed[:0], s.Crashed...)
 	}
 	for _, tx := range s.Transmitters {
 		ev.Tx = append(ev.Tx, jsonlTx{ID: tx.ID, Phase: tx.Phase, Payload: tx.Payload})
@@ -84,6 +99,7 @@ func (j *JSONLWriter) ObserveRound(s *radio.RoundStats) {
 			ID:          rx.ID,
 			Phase:       rx.Phase,
 			TxNeighbors: rx.TxNeighbors,
+			Lost:        rx.TxNeighbors - rx.Delivered,
 			Outcome:     rx.Outcome.String(),
 		})
 	}

@@ -23,13 +23,19 @@ type Counter struct {
 	Transmits uint64
 	Listens   uint64
 	// Successes, Collisions, and Silences classify every listen by the
-	// physical number of transmitting neighbors (1, ≥2, 0 respectively).
-	// Their sum equals Listens.
+	// number of transmitters the listener perceived (1, ≥2, 0 respectively;
+	// on faulty runs this is the perturbed channel, not the physical ground
+	// truth). Their sum equals Listens.
 	Successes  uint64
 	Collisions uint64
 	Silences   uint64
 	// Halts counts node program terminations.
 	Halts int
+	// Fault-layer totals; all zero on clean runs.
+	Jams    uint64 // rounds jammed by the adversary
+	Lost    uint64 // transmitter→listener deliveries dropped
+	Noised  uint64 // listener-rounds hit by spurious-collision noise
+	Crashes uint64 // node crash events
 }
 
 var _ radio.Observer = (*Counter)(nil)
@@ -42,6 +48,12 @@ func (c *Counter) ObserveRound(s *radio.RoundStats) {
 	c.Successes += uint64(s.Successes)
 	c.Collisions += uint64(s.Collisions)
 	c.Silences += uint64(s.Silences)
+	if s.Jammed {
+		c.Jams++
+	}
+	c.Lost += uint64(s.Lost)
+	c.Noised += uint64(s.Noised)
+	c.Crashes += uint64(len(s.Crashed))
 }
 
 // ObserveHalt implements radio.Observer.

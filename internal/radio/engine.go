@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/rng"
 )
@@ -53,6 +54,14 @@ type Config struct {
 	// the paper's algorithms are designed for (§1.1); staggered wake-up
 	// exists to demonstrate and test that assumption's necessity.
 	WakeRound []uint64
+	// Faults composes the channel-perturbation and node-failure models
+	// applied to the run (message loss, spurious-collision noise, a
+	// budgeted jamming adversary, crash/crash-restart faults, random
+	// wake-up staggering). The zero profile is the clean §1.1 model and
+	// runs through the exact same code path as a config without faults,
+	// so clean results stay bit-for-bit identical. Faults.WakeSpread and
+	// WakeRound are mutually exclusive.
+	Faults faults.Profile
 	// UnaryOnly makes the engine reject any transmission whose payload is
 	// not the single bit 1, aborting the run with ErrNotUnary. It verifies
 	// the paper's §1.3 claim that its algorithms perform only unary
@@ -64,6 +73,13 @@ type Config struct {
 // payload other than 1.
 var ErrNotUnary = errors.New("radio: non-unary transmission under UnaryOnly")
 
+// lifeSalt separates the seed domains of a node's successive lives under
+// crash-restart faults: a node's first life draws from ForNode(seed, i) as
+// always; its (L+2)-th life draws from ForNode(Mix(seed, lifeSalt+L), i).
+// The value is arbitrary; it only needs to be fixed so runs stay
+// reproducible.
+const lifeSalt uint64 = 0x11fe_57a6_0000_0001
+
 // Result summarizes a completed run.
 type Result struct {
 	// Outputs holds each node's program return value.
@@ -74,6 +90,13 @@ type Result struct {
 	// Rounds is the total number of rounds elapsed until the last awake
 	// action (the round complexity of the run).
 	Rounds uint64
+	// Crashed marks nodes that were dead when the run ended (their
+	// Outputs entry is meaningless). nil unless Config.Faults enables
+	// crash faults.
+	Crashed []bool
+	// Faults counts the fault events the run experienced (losses, noise
+	// hits, jams, crashes, restarts). nil for clean runs.
+	Faults *faults.Stats
 }
 
 // MaxEnergy returns the worst-case (maximum) per-node energy — the paper's
@@ -144,13 +167,32 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 	if cfg.WakeRound != nil && len(cfg.WakeRound) != n {
 		return nil, fmt.Errorf("radio: WakeRound has %d entries, graph has %d nodes", len(cfg.WakeRound), n)
 	}
+	// Compile the fault profile. Zero profiles get no injector at all, so
+	// a clean run is structurally identical to one configured before the
+	// fault layer existed — the zero-fault parity guarantee.
+	var inj *faults.Injector
+	if !cfg.Faults.IsZero() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("radio: %w", err)
+		}
+		if cfg.Faults.WakeSpread > 0 && cfg.WakeRound != nil {
+			return nil, errors.New("radio: Config.WakeRound and Faults.WakeSpread are mutually exclusive")
+		}
+		inj = faults.NewInjector(cfg.Faults, cfg.Seed, n)
+		if inj.HasCrash() {
+			res.Crashed = make([]bool, n)
+		}
+	}
 	kill := make(chan struct{})
 	var wg sync.WaitGroup
 	envs := make([]*Env, n)
 	wakes := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		if cfg.WakeRound != nil {
+		switch {
+		case cfg.WakeRound != nil:
 			wakes[i] = cfg.WakeRound[i]
+		case inj != nil:
+			wakes[i] = inj.WakeRound(i)
 		}
 		envs[i] = &Env{
 			id:       i,
@@ -161,26 +203,72 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 			replyCh:  make(chan Reception, 1),
 			kill:     kill,
 		}
+		if inj != nil && inj.HasCrash() {
+			envs[i].crashCh = make(chan crashSignal)
+		}
 	}
 	for i := 0; i < n; i++ {
 		env := envs[i]
 		wg.Add(1)
+		// Each node runs under a supervisor loop: one program invocation
+		// per "life". A crash fault unwinds the current life via a
+		// crashSignal panic; crash-restart lives re-run the program from
+		// scratch at the coordinator-scheduled resume round.
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(killedError); ok {
-						return // engine shutdown; exit quietly
+			for life := uint64(0); ; life++ {
+				sig, crashed := runLife(env, program)
+				if !crashed {
+					if env.crashCh == nil {
+						return // halted or engine shutdown; no crash faults
 					}
-					panic(r) // real bug in a node program
+					// Halted — but the crash decision for this life's final
+					// transmit may still be in flight: the program can buffer
+					// its halt intent and return before the coordinator
+					// (blocked on the unbuffered crash channel) delivers the
+					// signal. Stay receptive until the engine shuts down so
+					// that send always finds a receiver.
+					select {
+					case sig = <-env.crashCh:
+						// The crash struck the final action after all; handle
+						// it exactly like an in-flight crash.
+					case <-env.kill:
+						return
+					}
 				}
-			}()
-			out := program(env)
-			env.submit(intent{kind: intentHalt, result: out})
+				if !sig.restart {
+					return // crash-stop
+				}
+				// Reboot: the dying life buffered at most one intent after
+				// the coordinator consumed its last one; discard it so the
+				// next life starts clean. This runs on the same goroutine
+				// that buffered it, so the drain is race-free.
+				select {
+				case <-env.intentCh:
+				default:
+				}
+				env.round = sig.resumeRound
+				env.energy = 0
+				env.phase = ""
+				// A dying life may have drawn from its random stream after
+				// the crash was decided but before it observed the signal —
+				// how many draws depends on goroutine scheduling. A fresh
+				// per-life stream keeps rebooted runs deterministic (and
+				// matches reality: a rebooted device reseeds its PRNG).
+				env.rand = rng.ForNode(rng.Mix(cfg.Seed, lifeSalt+life), env.id)
+				// Ack the coordinator: the old life is fully unwound and its
+				// stale intent drained, so the next life's intents are the
+				// only thing the coordinator can observe from this node.
+				env.crashCh <- crashSignal{}
+			}
 		}()
 	}
 
-	err := coordinate(g, cfg, maxRounds, envs, wakes, res)
+	err := coordinate(g, cfg, inj, maxRounds, envs, wakes, res)
+	if inj != nil {
+		stats := inj.Stats()
+		res.Faults = &stats
+	}
 	close(kill)
 	// Drain any intents still buffered so blocked senders can observe the
 	// kill channel, then wait for all goroutines to exit.
@@ -192,6 +280,27 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 	}
 	wg.Wait()
 	return res, err
+}
+
+// runLife executes one life of a node program: from (re)start to a normal
+// halt, an engine shutdown, or a crash fault. It reports whether the life
+// ended in a crash and, if so, the signal carrying the restart decision.
+func runLife(env *Env, program Program) (sig crashSignal, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case killedError:
+				// Engine shutdown; exit quietly.
+			case crashSignal:
+				sig, crashed = v, true
+			default:
+				panic(r) // real bug in a node program
+			}
+		}
+	}()
+	out := program(env)
+	env.submit(intent{kind: intentHalt, result: out})
+	return crashSignal{}, false
 }
 
 // eventHeap is a binary min-heap of pending node wake-ups ordered by
@@ -272,7 +381,15 @@ func (cfg *Config) observer() Observer {
 // collision, or silence — from the same transmission marks it already
 // keeps, so observation costs O(1) extra per awake action and nothing per
 // round when no observer is attached.
-func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
+//
+// When a fault injector is attached (inj non-nil) the scheduler interposes
+// it at three points: crash hazards are drawn as each due node's intent is
+// consumed (a crashed node's action is suppressed before it can affect the
+// channel), the jammer observes the surviving transmitter count and
+// decides whether to burn budget on the round, and the reception loop
+// filters every transmitter→listener delivery through the loss and noise
+// models before the collision rule is applied.
+func coordinate(g *graph.Graph, cfg Config, inj *faults.Injector, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
 	model, obs := cfg.Model, cfg.observer()
 	var done <-chan struct{}
 	if cfg.Ctx != nil {
@@ -294,6 +411,7 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 		listeners []int
 		stats     RoundStats // buffers reused across rounds (observer only)
 		active    = n
+		crashes   int
 	)
 
 	for active > 0 {
@@ -311,6 +429,7 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 		}
 		epoch++
 		nTx = 0
+		crashes = 0
 		due = due[:0]
 		listeners = listeners[:0]
 		if obs != nil {
@@ -318,6 +437,7 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 				Round:        r,
 				Transmitters: stats.Transmitters[:0],
 				Listeners:    stats.Listeners[:0],
+				Crashed:      stats.Crashed[:0],
 			}
 		}
 
@@ -330,6 +450,30 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 		for _, id := range due {
 			env := envs[id]
 			it := <-env.intentCh
+			// Crash faults strike awake actions: the node dies before the
+			// action takes effect (no transmission, no listen, no energy
+			// charged). The signal rendezvous guarantees the old life is
+			// unwinding before the round proceeds.
+			if inj != nil && (it.kind == intentTransmit || it.kind == intentListen) && inj.CrashesNow(id) {
+				delay, restart := inj.Restart(id)
+				env.crashCh <- crashSignal{restart: restart, resumeRound: r + delay}
+				if restart {
+					// Rendezvous with the supervisor: wait until the old
+					// life is fully unwound and drained. Without this the
+					// coordinator could reach round r+delay and consume a
+					// stale intent the dying life buffered on its way down.
+					<-env.crashCh
+					h.push(event{round: r + delay, id: id})
+				} else {
+					res.Crashed[id] = true
+					active--
+				}
+				crashes++
+				if obs != nil {
+					stats.Crashed = append(stats.Crashed, id)
+				}
+				continue
+			}
 			switch it.kind {
 			case intentTransmit:
 				if cfg.UnaryOnly && it.payload != 1 {
@@ -363,25 +507,58 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 			}
 		}
 
-		// Deliver receptions, classifying outcomes for the observer.
+		// The jamming adversary observes the round's contention (the
+		// surviving transmitter count) and greedily decides whether to
+		// spend budget; a jammed round adds collision-level interference
+		// at every listener.
+		jammed := false
+		if inj != nil && nTx > 0 {
+			jammed = inj.JamRound(nTx)
+			if obs != nil {
+				stats.Jammed = jammed
+			}
+		}
+
+		// Deliver receptions, classifying outcomes for the observer. With
+		// faults attached, each transmitter→listener delivery first passes
+		// the loss filter, and noise/jamming add phantom transmitters that
+		// the collision rule perceives but no node sent.
 		for li, id := range listeners {
-			count := 0
+			physical := 0  // transmitting neighbors (ground truth)
+			delivered := 0 // deliveries surviving the loss model
 			var payload uint64
 			for _, w := range g.Neighbors(id) {
-				if txEpoch[w] == epoch {
-					count++
-					payload = txPayload[w]
+				if txEpoch[w] != epoch {
+					continue
+				}
+				physical++
+				if inj != nil && !inj.Delivered() {
+					continue
+				}
+				delivered++
+				payload = txPayload[w]
+			}
+			effective := delivered
+			if jammed {
+				effective += 2
+			}
+			if inj != nil && inj.NoiseAt() {
+				effective += 2
+				if obs != nil {
+					stats.Noised++
 				}
 			}
-			reception := perceive(model, count, payload)
+			reception := perceive(model, effective, payload)
 			if obs != nil {
 				rx := &stats.Listeners[li]
-				rx.TxNeighbors = count
+				rx.TxNeighbors = physical
+				rx.Delivered = delivered
 				rx.Outcome = reception.Kind
+				stats.Lost += physical - delivered
 				switch {
-				case count == 0:
+				case effective == 0:
 					stats.Silences++
-				case count == 1:
+				case effective == 1:
 					stats.Successes++
 				default:
 					stats.Collisions++
@@ -390,7 +567,7 @@ func coordinate(g *graph.Graph, cfg Config, maxRounds uint64, envs []*Env, wakes
 			envs[id].replyCh <- reception
 		}
 
-		if nTx > 0 || len(listeners) > 0 {
+		if nTx > 0 || len(listeners) > 0 || crashes > 0 {
 			res.Rounds = r + 1
 			if obs != nil {
 				obs.ObserveRound(&stats)

@@ -16,6 +16,19 @@ type killedError struct{}
 
 func (killedError) Error() string { return "radio: node killed by engine shutdown" }
 
+// crashSignal is the sentinel panic value delivered to a node goroutine
+// when the fault injector crashes it. The coordinator sends it on the
+// node's crash channel; submit and Listen receive it at the node's next
+// blocking point and panic with it, unwinding the current program life.
+// The node's supervisor loop (see Run) recovers it and either lets the
+// node die (crash-stop) or re-runs the program (crash-restart).
+type crashSignal struct {
+	// restart reports whether the node reboots; false means crash-stop.
+	restart bool
+	// resumeRound is the round the rebooted program starts at.
+	resumeRound uint64
+}
+
 // Env is a node's handle on the simulated radio network. All methods must
 // be called from the node's own program goroutine. An Env is not safe for
 // use from other goroutines.
@@ -28,6 +41,10 @@ type Env struct {
 	intentCh chan intent
 	replyCh  chan Reception
 	kill     chan struct{}
+	// crashCh delivers crash faults from the coordinator; nil unless the
+	// run's fault profile enables crashes (a nil channel never selects, so
+	// clean runs pay nothing for the extra case).
+	crashCh chan crashSignal
 
 	energy uint64
 	phase  string // current phase label, stamped onto awake intents
@@ -91,6 +108,8 @@ func (e *Env) Listen() Reception {
 	select {
 	case r := <-e.replyCh:
 		return r
+	case sig := <-e.crashCh:
+		panic(sig)
 	case <-e.kill:
 		panic(killedError{})
 	}
@@ -117,6 +136,8 @@ func (e *Env) SleepUntil(round uint64) {
 func (e *Env) submit(it intent) {
 	select {
 	case e.intentCh <- it:
+	case sig := <-e.crashCh:
+		panic(sig)
 	case <-e.kill:
 		panic(killedError{})
 	}

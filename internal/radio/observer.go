@@ -30,6 +30,10 @@ type NodeRx struct {
 	// collision model: 0 is silence, 1 a successful reception, ≥ 2 a
 	// collision (even when the model masks it, as no-CD does).
 	TxNeighbors int
+	// Delivered is the number of those transmissions that survived the
+	// fault layer's loss model at this listener. Equal to TxNeighbors on
+	// clean runs.
+	Delivered int
 	// Outcome is what the listener perceived under the configured model
 	// (e.g. a collision is perceived as Silence in the no-CD model).
 	Outcome Kind
@@ -40,7 +44,10 @@ type NodeRx struct {
 // from marks it already maintains, so observation adds no asymptotic cost.
 //
 // The invariant Successes + Collisions + Silences == len(Listeners) holds
-// in every round under every collision model.
+// in every round under every collision model. On faulty runs the
+// classification reflects the perturbed channel: counts are computed from
+// delivered transmissions plus any phantom interference from noise or
+// jamming, which is exactly what the listeners perceived.
 type RoundStats struct {
 	// Round is the simulated round number.
 	Round uint64
@@ -48,12 +55,22 @@ type RoundStats struct {
 	Transmitters []NodeTx
 	// Listeners holds the listening nodes, in ascending ID order.
 	Listeners []NodeRx
-	// Successes counts listeners with exactly one transmitting neighbor.
+	// Successes counts listeners that perceived exactly one transmitter.
 	Successes int
-	// Collisions counts listeners with two or more transmitting neighbors.
+	// Collisions counts listeners that perceived two or more transmitters.
 	Collisions int
-	// Silences counts listeners with no transmitting neighbor.
+	// Silences counts listeners that perceived no transmitter.
 	Silences int
+	// Jammed reports whether the fault layer's adversary jammed this round.
+	Jammed bool
+	// Lost counts transmitter→listener deliveries dropped by the fault
+	// layer's loss model this round (0 on clean runs).
+	Lost int
+	// Crashed holds the IDs of nodes that crashed this round, in ascending
+	// order (empty on clean runs).
+	Crashed []int
+	// Noised counts listeners hit by spurious-collision noise this round.
+	Noised int
 }
 
 // Observer receives structured simulation events. Like Tracer, methods are

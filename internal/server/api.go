@@ -12,7 +12,6 @@
 package server
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -20,6 +19,7 @@ import (
 	"time"
 
 	"radiomis/internal/experiments"
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/mis"
 	"radiomis/internal/stats"
@@ -48,17 +48,6 @@ const (
 	StateCanceled = "canceled"
 )
 
-// solvers maps wire algorithm names to the context-aware MIS entry points.
-var solvers = map[string]func(context.Context, *graph.Graph, mis.Params, uint64) (*mis.Result, error){
-	"cd":            mis.SolveCDContext,
-	"beep":          mis.SolveBeepContext,
-	"nocd":          mis.SolveNoCDContext,
-	"lowdegree":     mis.SolveLowDegreeContext,
-	"naive-cd":      mis.SolveNaiveCDContext,
-	"naive-nocd":    mis.SolveNaiveNoCDContext,
-	"unknown-delta": mis.SolveUnknownDeltaContext,
-}
-
 // JobRequest is the body of POST /v1/jobs. Exactly the fields relevant to
 // the requested kind are honored; Normalize canonicalizes the rest so that
 // equivalent requests hash to the same cache key.
@@ -81,6 +70,11 @@ type JobRequest struct {
 	// Trials is the number of repeated runs (default 1). Trial i uses the
 	// derived seed rng.Mix(Seed, i), exactly like the benchmark harness.
 	Trials int `json:"trials,omitempty"`
+	// Faults optionally perturbs solve jobs with a fault profile (message
+	// loss, noise, jamming, crashes, wake staggering — see internal/faults).
+	// nil and the zero profile both mean the clean channel and normalize
+	// identically, so legacy requests keep their historical cache keys.
+	Faults *faults.Profile `json:"faults,omitempty"`
 
 	// Seed makes the job reproducible (and is part of the cache key).
 	Seed uint64 `json:"seed"`
@@ -98,9 +92,9 @@ func (r *JobRequest) Normalize() error {
 			return err
 		}
 		r.Experiment = def.ID
-		r.Algorithm, r.Family, r.N, r.Trials = "", "", 0, 0
+		r.Algorithm, r.Family, r.N, r.Trials, r.Faults = "", "", 0, 0, nil
 	case KindSolve:
-		if _, ok := solvers[r.Algorithm]; !ok {
+		if !mis.KnownAlgorithm(r.Algorithm) {
 			return fmt.Errorf("unknown algorithm %q", r.Algorithm)
 		}
 		if r.Family == "" {
@@ -114,6 +108,14 @@ func (r *JobRequest) Normalize() error {
 		}
 		if r.Trials < 1 {
 			r.Trials = 1
+		}
+		if r.Faults != nil {
+			if err := r.Faults.Validate(); err != nil {
+				return err
+			}
+			if r.Faults.IsZero() {
+				r.Faults = nil // canonical form: clean channel has no profile
+			}
 		}
 		r.Experiment, r.Quick = "", false
 	default:
@@ -163,11 +165,15 @@ type JobResult struct {
 
 // SolveResult summarizes a repeated single-algorithm run.
 type SolveResult struct {
-	Algorithm string                   `json:"algorithm"`
-	Family    string                   `json:"family"`
-	N         int                      `json:"n"`
-	Trials    int                      `json:"trials"`
-	Metrics   map[string]stats.Summary `json:"metrics"`
+	Algorithm string `json:"algorithm"`
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Trials    int    `json:"trials"`
+	// Faults echoes the fault profile the runs were perturbed with; absent
+	// for clean runs. Faulty results carry the extra robustness metrics
+	// (violations, uncovered, crashed, restarts) alongside the usual ones.
+	Faults  *faults.Profile          `json:"faults,omitempty"`
+	Metrics map[string]stats.Summary `json:"metrics"`
 }
 
 // JobList is the response of GET /v1/jobs.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"radiomis/internal/faults"
+)
+
+// TestFaultySolveJobRoundTrip drives a fault-profile solve job through the
+// HTTP API end to end: the profile survives normalization, the result echoes
+// it, and the robustness metrics appear alongside the standard ones.
+func TestFaultySolveJobRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	fp := &faults.Profile{Loss: 0.2, Crash: faults.Crash{Rate: 0.01, RestartAfter: 8, MaxRestarts: 2}}
+	st, resp := submit(t, ts, JobRequest{
+		Kind: KindSolve, Algorithm: "cd", N: 48, Trials: 3, Seed: 7, Faults: fp,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if st.Request.Faults == nil || st.Request.Faults.Loss != 0.2 {
+		t.Fatalf("normalized request dropped the profile: %+v", st.Request.Faults)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", final.State, final.Error)
+	}
+	sr := final.Result.Solve
+	if sr == nil {
+		t.Fatal("no solve result")
+	}
+	if sr.Faults == nil || sr.Faults.Loss != 0.2 || sr.Faults.Crash.Rate != 0.01 {
+		t.Errorf("result does not echo the profile: %+v", sr.Faults)
+	}
+	for _, metric := range []string{
+		"maxEnergy", "avgEnergy", "rounds", "success",
+		"violations", "uncovered", "crashed", "restarts",
+	} {
+		s, ok := sr.Metrics[metric]
+		if !ok {
+			t.Errorf("metric %q missing", metric)
+			continue
+		}
+		if s.Count != 3 {
+			t.Errorf("%s count = %d, want 3", metric, s.Count)
+		}
+	}
+}
+
+// TestFaultProfileCacheKeys pins the cache-key semantics: omitting the
+// profile and sending the explicit zero profile are the same job (legacy
+// keys stay valid), while any non-zero profile is a distinct computation.
+func TestFaultProfileCacheKeys(t *testing.T) {
+	base := JobRequest{Kind: KindSolve, Algorithm: "nocd", N: 32, Trials: 2, Seed: 3}
+	zero := base
+	zero.Faults = &faults.Profile{}
+	lossy := base
+	lossy.Faults = &faults.Profile{Loss: 0.1}
+	for _, r := range []*JobRequest{&base, &zero, &lossy} {
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if zero.Faults != nil {
+		t.Errorf("zero profile not canonicalized to nil: %+v", zero.Faults)
+	}
+	if base.Key() != zero.Key() {
+		t.Error("explicit zero profile changed the cache key")
+	}
+	if base.Key() == lossy.Key() {
+		t.Error("lossy profile shares the clean job's cache key")
+	}
+}
+
+// TestFaultProfileRejected checks that invalid profiles and profiles on
+// experiment jobs are handled: the former is a 400, the latter is cleared.
+func TestFaultProfileRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	bad := &faults.Profile{Loss: 1.5}
+	_, resp := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 8, Faults: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid profile: status = %d, want 400", resp.StatusCode)
+	}
+
+	exp := JobRequest{Kind: KindExperiment, Experiment: "E8", Quick: true, Faults: &faults.Profile{Loss: 0.5}}
+	if err := exp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Faults != nil {
+		t.Error("experiment job kept a fault profile")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"radiomis/internal/experiments"
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/harness"
 	"radiomis/internal/mis"
@@ -466,25 +467,47 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		solve := solvers[req.Algorithm]
+		var fp faults.Profile
+		if req.Faults != nil {
+			fp = *req.Faults
+		}
 		agg, err := harness.Repeat(ctx, harness.Options{Trials: req.Trials, Seed: req.Seed},
 			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
 				g := graph.Generate(fam, req.N, rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
-				res, err := solve(ctx, g, p, seed)
+				res, err := mis.SolveWithFaults(ctx, req.Algorithm, g, p, seed, fp)
 				if err != nil {
 					return nil, err
 				}
-				success := 1.0
-				if res.Check(g) != nil {
-					success = 0
-				}
-				return harness.Metrics{
+				met := harness.Metrics{
 					"maxEnergy": float64(res.MaxEnergy()),
 					"avgEnergy": res.AvgEnergy(),
 					"rounds":    float64(res.Rounds),
-					"success":   success,
-				}, nil
+				}
+				if req.Faults == nil {
+					// Clean jobs keep the historical strict-MIS criterion
+					// (CheckSurvivors coincides with it when nothing crashes).
+					success := 1.0
+					if res.Check(g) != nil {
+						success = 0
+					}
+					met["success"] = success
+					return met, nil
+				}
+				success := 1.0
+				if res.CheckSurvivors(g) != nil {
+					success = 0
+				}
+				met["success"] = success
+				met["violations"] = float64(res.IndependenceViolations(g))
+				met["uncovered"] = float64(res.UncoveredOut(g))
+				met["crashed"] = float64(res.CrashCount())
+				restarts := 0.0
+				if res.Faults != nil {
+					restarts = float64(res.Faults.Restarts)
+				}
+				met["restarts"] = restarts
+				return met, nil
 			})
 		if err != nil {
 			return nil, err
@@ -494,6 +517,7 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 			Family:    req.Family,
 			N:         req.N,
 			Trials:    req.Trials,
+			Faults:    req.Faults,
 			Metrics:   make(map[string]stats.Summary),
 		}
 		for _, name := range agg.Names() {

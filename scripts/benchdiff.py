@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare two benchsuite -json reports metric by metric.
+
+Usage: benchdiff.py BASELINE.json CURRENT.json
+
+The suite is deterministic at a fixed seed, so any drift in a metric
+summary (count/mean/std/min/max/median/p90 per (series, x, metric) point)
+means the simulation's behavior changed. Wall-clock fields (durationMs)
+are ignored. Exits 0 when every shared metric point matches, 1 on any
+difference, missing experiment, or missing point — CI runs this as a
+warn-only step so intentional changes just need a regenerated baseline.
+"""
+
+import json
+import sys
+
+
+def metric_points(report):
+    """Flatten a report into {(experiment, series, x, metric): summary}."""
+    points = {}
+    for exp in report.get("experiments", []):
+        for pt in exp.get("metrics", []):
+            key = (exp["id"], pt["series"], pt["x"], pt["metric"])
+            points[key] = pt["summary"]
+    return points
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    base = metric_points(baseline)
+    cur = metric_points(current)
+    drifted = 0
+
+    for key in sorted(base):
+        if key not in cur:
+            print(f"MISSING  {'/'.join(map(str, key))}: point absent from current run")
+            drifted += 1
+            continue
+        if base[key] != cur[key]:
+            print(f"DRIFT    {'/'.join(map(str, key))}:")
+            print(f"  baseline: {base[key]}")
+            print(f"  current:  {cur[key]}")
+            drifted += 1
+    for key in sorted(set(cur) - set(base)):
+        print(f"NEW      {'/'.join(map(str, key))}: not in baseline (regenerate it?)")
+
+    total = len(base)
+    if drifted:
+        print(f"\n{drifted}/{total} metric points drifted from the baseline.")
+        print("If the change is intentional, regenerate with:")
+        print("  go run ./cmd/benchsuite -quick -seed 1 -json BENCH_baseline.json")
+        sys.exit(1)
+    print(f"All {total} baseline metric points match.")
+
+
+if __name__ == "__main__":
+    main()
