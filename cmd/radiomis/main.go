@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
@@ -119,26 +120,14 @@ func run(args []string) error {
 }
 
 // solver validates an algorithm name and returns its classic (context-free,
-// fault-free) entry point. Runs themselves go through mis.SolveWithFaults,
-// which resolves the same registry; this shim keeps the historical lookup
-// API for callers and tests.
+// fault-free) entry point, resolved through the mis registry — the same
+// registry mis.Run and the daemon's /v1/algorithms endpoint use, so the
+// CLI's accepted names can never drift from theirs.
 func solver(name string) (func(*graph.Graph, mis.Params, uint64) (*mis.Result, error), error) {
-	switch name {
-	case "cd":
-		return mis.SolveCD, nil
-	case "beep":
-		return mis.SolveBeep, nil
-	case "nocd":
-		return mis.SolveNoCD, nil
-	case "lowdegree":
-		return mis.SolveLowDegree, nil
-	case "naive-cd":
-		return mis.SolveNaiveCD, nil
-	case "naive-nocd":
-		return mis.SolveNaiveNoCD, nil
-	case "unknown-delta":
-		return mis.SolveUnknownDelta, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+	if !mis.KnownAlgorithm(name) {
+		return nil, fmt.Errorf("unknown algorithm %q (known: %s)", name, strings.Join(mis.Algorithms(), ", "))
 	}
+	return func(g *graph.Graph, p mis.Params, seed uint64) (*mis.Result, error) {
+		return mis.Run(name, g, p, mis.RunOpts{Seed: seed})
+	}, nil
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"radiomis/internal/obs"
+	"radiomis/internal/radio"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
 )
@@ -107,15 +108,27 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 		wg        sync.WaitGroup
 		next      = make(chan int)
 	)
+	// Each worker owns one radio.Pool for its whole share of the batch, so
+	// consecutive trials reuse the engine's worker shards, round buffers,
+	// and CSR adjacency snapshot instead of rebuilding them per trial.
+	// Splitting the machine's parallelism across the workers keeps a
+	// parallel batch from oversubscribing cores with engine shards.
+	shardsPer := runtime.GOMAXPROCS(0) / par
+	if shardsPer < 1 {
+		shardsPer = 1
+	}
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool := radio.NewPool(shardsPer)
+			defer pool.Close()
+			wctx := radio.WithPool(tctx, pool)
 			for i := range next {
 				if tctx.Err() != nil {
 					return // batch abandoned: drop remaining work
 				}
-				m, err := f(tctx, rng.Mix(opts.Seed, uint64(i)))
+				m, err := f(wctx, rng.Mix(opts.Seed, uint64(i)))
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil || i < firstIdx {

@@ -2,7 +2,6 @@ package mis
 
 import (
 	"context"
-	"fmt"
 
 	"radiomis/internal/backoff"
 	"radiomis/internal/graph"
@@ -55,14 +54,7 @@ func SolveNaiveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 
 // SolveNaiveCDContext is SolveNaiveCD bounded by ctx.
 func SolveNaiveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, radio.ModelCD, seed, NaiveCDProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: naive cd run: %w", err)
-	}
-	return res, nil
+	return Run("naive-cd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }
 
 // NaiveNoCDProgram simulates Algorithm 1 in the no-CD model the naive way
@@ -114,12 +106,5 @@ func SolveNaiveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 
 // SolveNaiveNoCDContext is SolveNaiveNoCD bounded by ctx.
 func SolveNaiveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, NaiveNoCDProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: naive no-cd run: %w", err)
-	}
-	return res, nil
+	return Run("naive-nocd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

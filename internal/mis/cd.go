@@ -2,7 +2,6 @@ package mis
 
 import (
 	"context"
-	"fmt"
 
 	"radiomis/internal/graph"
 	"radiomis/internal/radio"
@@ -73,7 +72,7 @@ func SolveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 // completed run's outcome — the same (g, p, seed) still yields bit-for-bit
 // identical results.
 func SolveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	return solveCDModel(ctx, g, p, seed, radio.ModelCD)
+	return Run("cd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }
 
 // SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1): every
@@ -85,18 +84,7 @@ func SolveBeep(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 
 // SolveBeepContext is SolveBeep bounded by ctx.
 func SolveBeepContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	return solveCDModel(ctx, g, p, seed, radio.ModelBeep)
-}
-
-func solveCDModel(ctx context.Context, g *graph.Graph, p Params, seed uint64, model radio.Model) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, model, seed, CDProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: cd run: %w", err)
-	}
-	return res, nil
+	return Run("beep", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }
 
 // CDRoundBudget returns the exact worst-case round count of Algorithm 1

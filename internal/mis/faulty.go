@@ -2,72 +2,18 @@ package mis
 
 import (
 	"context"
-	"fmt"
-	"sort"
-	"strings"
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
-	"radiomis/internal/radio"
 )
-
-// algoSpec pairs an algorithm's collision model with its program builder.
-// Every Solve*Context entry point is a thin wrapper over one of these, and
-// SolveWithFaults runs any of them under an arbitrary fault profile — one
-// registry instead of a per-algorithm ×fault matrix of functions.
-type algoSpec struct {
-	model   radio.Model
-	program func(Params) radio.Program
-}
-
-// algoSpecs maps canonical algorithm names (the wire names used by the
-// radiomis CLI and the radiomisd job schema) to their specs.
-var algoSpecs = map[string]algoSpec{
-	"cd":            {radio.ModelCD, CDProgram},
-	"beep":          {radio.ModelBeep, CDProgram},
-	"nocd":          {radio.ModelNoCD, NoCDProgram},
-	"lowdegree":     {radio.ModelNoCD, LowDegreeProgram},
-	"naive-cd":      {radio.ModelCD, NaiveCDProgram},
-	"naive-nocd":    {radio.ModelNoCD, NaiveNoCDProgram},
-	"unknown-delta": {radio.ModelNoCD, UnknownDeltaProgram},
-}
-
-// Algorithms returns the canonical algorithm names, sorted — the accepted
-// values of SolveWithFaults' algo argument.
-func Algorithms() []string {
-	names := make([]string, 0, len(algoSpecs))
-	for name := range algoSpecs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// KnownAlgorithm reports whether name is a registered algorithm.
-func KnownAlgorithm(name string) bool {
-	_, ok := algoSpecs[name]
-	return ok
-}
 
 // SolveWithFaults runs the named algorithm on g with the given fault
 // profile perturbing the channel. With the zero profile it is bit-for-bit
 // identical to the algorithm's own Solve*Context entry point at the same
 // (g, p, seed) — the engine skips the injection layer entirely — which is
 // what lets robustness experiments use clean runs as their baseline rows.
+// It is Run with the fault profile as a positional argument, kept for the
+// fault-injection experiments and the daemon's job runner.
 func SolveWithFaults(ctx context.Context, algo string, g *graph.Graph, p Params, seed uint64, fp faults.Profile) (*Result, error) {
-	spec, ok := algoSpecs[algo]
-	if !ok {
-		return nil, fmt.Errorf("mis: unknown algorithm %q (known: %s)", algo, strings.Join(Algorithms(), ", "))
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := fp.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgramFaults(ctx, g, spec.model, seed, fp, spec.program(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: %s run: %w", algo, err)
-	}
-	return res, nil
+	return Run(algo, g, p, RunOpts{Seed: seed, Ctx: ctx, Faults: fp})
 }

@@ -2,7 +2,6 @@ package mis
 
 import (
 	"context"
-	"fmt"
 
 	"radiomis/internal/backoff"
 	"radiomis/internal/graph"
@@ -160,12 +159,5 @@ func SolveLowDegree(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 
 // SolveLowDegreeContext is SolveLowDegree bounded by ctx.
 func SolveLowDegreeContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, LowDegreeProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: low-degree run: %w", err)
-	}
-	return res, nil
+	return Run("lowdegree", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

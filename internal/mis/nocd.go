@@ -345,12 +345,5 @@ func SolveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 // SolveNoCDContext is SolveNoCD bounded by ctx: cancellation aborts the
 // simulation at the next round boundary.
 func SolveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, NoCDProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: no-cd run: %w", err)
-	}
-	return res, nil
+	return Run("nocd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

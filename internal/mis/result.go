@@ -88,8 +88,15 @@ func runProgram(ctx context.Context, g *graph.Graph, model radio.Model, seed uin
 // simulation. The zero profile is exactly runProgram (the engine skips the
 // injection layer entirely).
 func runProgramFaults(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, fp faults.Profile, program radio.Program) (*Result, error) {
+	return runProgramObserved(ctx, g, model, seed, fp, nil, program)
+}
+
+// runProgramObserved is the full-knob execution path (Run resolves here):
+// runProgramFaults with an optional radio.Observer attached to the engine.
+// A nil observer costs nothing.
+func runProgramObserved(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, fp faults.Profile, obs radio.Observer, program radio.Program) (*Result, error) {
 	tracer := &haltTracer{rounds: make([]uint64, g.N())}
-	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer, Faults: fp}, program)
+	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer, Faults: fp, Observer: obs}, program)
 	if err != nil {
 		return nil, err
 	}

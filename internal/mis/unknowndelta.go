@@ -2,7 +2,6 @@ package mis
 
 import (
 	"context"
-	"fmt"
 
 	"radiomis/internal/backoff"
 	"radiomis/internal/graph"
@@ -150,12 +149,5 @@ func SolveUnknownDelta(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 
 // SolveUnknownDeltaContext is SolveUnknownDelta bounded by ctx.
 func SolveUnknownDeltaContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	res, err := runProgram(ctx, g, radio.ModelNoCD, seed, UnknownDeltaProgram(p))
-	if err != nil {
-		return nil, fmt.Errorf("mis: unknown-delta run: %w", err)
-	}
-	return res, nil
+	return Run("unknown-delta", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

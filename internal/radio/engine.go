@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
@@ -67,6 +68,13 @@ type Config struct {
 	// the paper's §1.3 claim that its algorithms perform only unary
 	// communication (and are therefore beeping-compatible).
 	UnaryOnly bool
+	// Shards fixes the round scheduler's worker-shard count. 0 means
+	// automatic (scaled to GOMAXPROCS and the graph size, and never more
+	// than an installed Pool provides). The result of a run is bit-for-bit
+	// independent of the shard count; Shards only trades scheduling
+	// overhead against parallelism. See the package Pool for reusing
+	// worker shards across runs.
+	Shards int
 }
 
 // ErrNotUnary is returned when a run configured with UnaryOnly transmits a
@@ -143,11 +151,30 @@ type Tracer interface {
 	NodeHalted(id int, output int64, energy uint64, round uint64)
 }
 
+// intentBuf is the depth of each node's intent channel. A deep buffer lets
+// a node program run ahead of the coordinator — queueing its next transmit,
+// sleep, and listen actions without a goroutine wake-up per round — until it
+// genuinely has to block for a reception. The scheduler consumes exactly one
+// intent per scheduled round regardless of depth, so results are identical
+// at any buffer size; only the synchronization cost changes.
+const intentBuf = 16
+
 // Run simulates program on every vertex of g under cfg and blocks until all
 // nodes halt. It returns ErrMaxRounds (wrapped) if the round budget is
 // exhausted; in that case all node goroutines are torn down before Run
 // returns.
+//
+// Runs execute on the sharded round scheduler (see sched.go): a fixed set
+// of worker shards advances all awake nodes one phase-barriered round at a
+// time. Attach a Pool (WithPool) to reuse the scheduler's workers and round
+// buffers across many runs, e.g. across the trials of a benchmark batch.
 func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
+	return run(g, cfg, program, false)
+}
+
+// run is the shared entry point behind Run (sharded scheduler) and
+// runReference (the pre-rework engine kept for differential testing).
+func run(g *graph.Graph, cfg Config, program Program, reference bool) (*Result, error) {
 	if cfg.Model < ModelCD || cfg.Model > ModelBeep {
 		return nil, fmt.Errorf("radio: invalid model %v", cfg.Model)
 	}
@@ -184,9 +211,20 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 		}
 	}
 	kill := make(chan struct{})
+	down := new(atomic.Bool)
 	var wg sync.WaitGroup
 	envs := make([]*Env, n)
 	wakes := make([]uint64, n)
+	// The reference engine keeps the historical single-slot rendezvous so
+	// differential benchmarks measure the pre-rework synchronization cost.
+	buf := intentBuf
+	if reference {
+		buf = 1
+	}
+	// The select-free channel discipline (Env.fast) needs nothing able to
+	// preempt a blocked node: no crash faults, and not the reference
+	// engine (whose select cost is preserved deliberately).
+	fast := !reference && (inj == nil || !inj.HasCrash())
 	for i := 0; i < n; i++ {
 		switch {
 		case cfg.WakeRound != nil:
@@ -199,9 +237,11 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 			n:        n,
 			rand:     rng.ForNode(cfg.Seed, i),
 			round:    wakes[i],
-			intentCh: make(chan intent, 1),
+			intentCh: make(chan intent, buf),
 			replyCh:  make(chan Reception, 1),
 			kill:     kill,
+			fast:     fast,
+			down:     down,
 		}
 		if inj != nil && inj.HasCrash() {
 			envs[i].crashCh = make(chan crashSignal)
@@ -239,13 +279,17 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 				if !sig.restart {
 					return // crash-stop
 				}
-				// Reboot: the dying life buffered at most one intent after
-				// the coordinator consumed its last one; discard it so the
-				// next life starts clean. This runs on the same goroutine
-				// that buffered it, so the drain is race-free.
-				select {
-				case <-env.intentCh:
-				default:
+				// Reboot: the dying life may have buffered intents after the
+				// coordinator consumed its last one (up to the channel
+				// depth); discard them so the next life starts clean. This
+				// runs on the same goroutine that buffered them, so the
+				// drain is race-free and complete.
+				for drained := false; !drained; {
+					select {
+					case <-env.intentCh:
+					default:
+						drained = true
+					}
 				}
 				env.round = sig.resumeRound
 				env.energy = 0
@@ -264,18 +308,35 @@ func Run(g *graph.Graph, cfg Config, program Program) (*Result, error) {
 		}()
 	}
 
-	err := coordinate(g, cfg, inj, maxRounds, envs, wakes, res)
+	var err error
+	if reference {
+		err = coordinateReference(g, cfg, inj, maxRounds, envs, wakes, res)
+	} else {
+		err = coordinate(g, cfg, inj, maxRounds, envs, wakes, res)
+	}
 	if inj != nil {
 		stats := inj.Stats()
 		res.Faults = &stats
 	}
+	// Tear the node goroutines down. Fast-discipline nodes have no kill
+	// case in their channel operations; they observe shutdown through the
+	// down flag (checked before every send) and the closed reply channel
+	// (for a node blocked in Listen). Raising the flag before the drain
+	// below guarantees a sender it unblocks cannot submit again: its next
+	// submit sees the flag and unwinds. Select-discipline nodes observe
+	// the kill channel directly once their buffered intents are drained.
+	down.Store(true)
 	close(kill)
-	// Drain any intents still buffered so blocked senders can observe the
-	// kill channel, then wait for all goroutines to exit.
 	for _, env := range envs {
-		select {
-		case <-env.intentCh:
-		default:
+		if env.fast {
+			close(env.replyCh)
+		}
+		for drained := false; !drained; {
+			select {
+			case <-env.intentCh:
+			default:
+				drained = true
+			}
 		}
 	}
 	wg.Wait()
@@ -372,207 +433,4 @@ func (cfg *Config) observer() Observer {
 		return adapted
 	}
 	return MultiObserver{cfg.Observer, adapted}
-}
-
-// coordinate is the discrete-event scheduler: it advances directly to the
-// next round with an awake node, gathers that round's intents, applies the
-// collision rule, and replies to listeners. When an observer is attached
-// it additionally classifies every listener's reception — success,
-// collision, or silence — from the same transmission marks it already
-// keeps, so observation costs O(1) extra per awake action and nothing per
-// round when no observer is attached.
-//
-// When a fault injector is attached (inj non-nil) the scheduler interposes
-// it at three points: crash hazards are drawn as each due node's intent is
-// consumed (a crashed node's action is suppressed before it can affect the
-// channel), the jammer observes the surviving transmitter count and
-// decides whether to burn budget on the round, and the reception loop
-// filters every transmitter→listener delivery through the loss and noise
-// models before the collision rule is applied.
-func coordinate(g *graph.Graph, cfg Config, inj *faults.Injector, maxRounds uint64, envs []*Env, wakes []uint64, res *Result) error {
-	model, obs := cfg.Model, cfg.observer()
-	var done <-chan struct{}
-	if cfg.Ctx != nil {
-		done = cfg.Ctx.Done()
-	}
-	n := len(envs)
-	h := make(eventHeap, 0, n)
-	for i := 0; i < n; i++ {
-		h.push(event{round: wakes[i], id: i})
-	}
-
-	var (
-		// Epoch-stamped marks avoid clearing per round.
-		txEpoch   = make([]uint64, n)
-		txPayload = make([]uint64, n)
-		epoch     uint64
-		due       []int
-		nTx       int
-		listeners []int
-		stats     RoundStats // buffers reused across rounds (observer only)
-		active    = n
-		crashes   int
-	)
-
-	for active > 0 {
-		// Cooperative abort: one non-blocking check per round boundary
-		// keeps a cancelled (or timed-out) run from burning CPU through
-		// the rest of its simulation.
-		select {
-		case <-done:
-			return fmt.Errorf("%w: %w", ErrAborted, context.Cause(cfg.Ctx))
-		default:
-		}
-		r := h.peekRound()
-		if r >= maxRounds {
-			return fmt.Errorf("%w (cap %d)", ErrMaxRounds, maxRounds)
-		}
-		epoch++
-		nTx = 0
-		crashes = 0
-		due = due[:0]
-		listeners = listeners[:0]
-		if obs != nil {
-			stats = RoundStats{
-				Round:        r,
-				Transmitters: stats.Transmitters[:0],
-				Listeners:    stats.Listeners[:0],
-				Crashed:      stats.Crashed[:0],
-			}
-		}
-
-		// Pop every node scheduled for round r; pops arrive in id order
-		// because the heap breaks round ties by id.
-		for len(h) > 0 && h.peekRound() == r {
-			due = append(due, h.pop().id)
-		}
-
-		for _, id := range due {
-			env := envs[id]
-			it := <-env.intentCh
-			// Crash faults strike awake actions: the node dies before the
-			// action takes effect (no transmission, no listen, no energy
-			// charged). The signal rendezvous guarantees the old life is
-			// unwinding before the round proceeds.
-			if inj != nil && (it.kind == intentTransmit || it.kind == intentListen) && inj.CrashesNow(id) {
-				delay, restart := inj.Restart(id)
-				env.crashCh <- crashSignal{restart: restart, resumeRound: r + delay}
-				if restart {
-					// Rendezvous with the supervisor: wait until the old
-					// life is fully unwound and drained. Without this the
-					// coordinator could reach round r+delay and consume a
-					// stale intent the dying life buffered on its way down.
-					<-env.crashCh
-					h.push(event{round: r + delay, id: id})
-				} else {
-					res.Crashed[id] = true
-					active--
-				}
-				crashes++
-				if obs != nil {
-					stats.Crashed = append(stats.Crashed, id)
-				}
-				continue
-			}
-			switch it.kind {
-			case intentTransmit:
-				if cfg.UnaryOnly && it.payload != 1 {
-					return fmt.Errorf("%w: node %d sent %#x", ErrNotUnary, id, it.payload)
-				}
-				txEpoch[id] = epoch
-				txPayload[id] = it.payload
-				nTx++
-				res.Energy[id]++
-				if obs != nil {
-					stats.Transmitters = append(stats.Transmitters, NodeTx{ID: id, Phase: it.phase, Payload: it.payload})
-				}
-				h.push(event{round: r + 1, id: id})
-			case intentListen:
-				listeners = append(listeners, id)
-				res.Energy[id]++
-				if obs != nil {
-					stats.Listeners = append(stats.Listeners, NodeRx{ID: id, Phase: it.phase})
-				}
-				h.push(event{round: r + 1, id: id})
-			case intentSleep:
-				h.push(event{round: r + it.sleep, id: id})
-			case intentHalt:
-				res.Outputs[id] = it.result
-				active--
-				if obs != nil {
-					obs.ObserveHalt(id, it.result, res.Energy[id], r)
-				}
-			default:
-				return fmt.Errorf("radio: node %d submitted unknown intent %d", id, it.kind)
-			}
-		}
-
-		// The jamming adversary observes the round's contention (the
-		// surviving transmitter count) and greedily decides whether to
-		// spend budget; a jammed round adds collision-level interference
-		// at every listener.
-		jammed := false
-		if inj != nil && nTx > 0 {
-			jammed = inj.JamRound(nTx)
-			if obs != nil {
-				stats.Jammed = jammed
-			}
-		}
-
-		// Deliver receptions, classifying outcomes for the observer. With
-		// faults attached, each transmitter→listener delivery first passes
-		// the loss filter, and noise/jamming add phantom transmitters that
-		// the collision rule perceives but no node sent.
-		for li, id := range listeners {
-			physical := 0  // transmitting neighbors (ground truth)
-			delivered := 0 // deliveries surviving the loss model
-			var payload uint64
-			for _, w := range g.Neighbors(id) {
-				if txEpoch[w] != epoch {
-					continue
-				}
-				physical++
-				if inj != nil && !inj.Delivered() {
-					continue
-				}
-				delivered++
-				payload = txPayload[w]
-			}
-			effective := delivered
-			if jammed {
-				effective += 2
-			}
-			if inj != nil && inj.NoiseAt() {
-				effective += 2
-				if obs != nil {
-					stats.Noised++
-				}
-			}
-			reception := perceive(model, effective, payload)
-			if obs != nil {
-				rx := &stats.Listeners[li]
-				rx.TxNeighbors = physical
-				rx.Delivered = delivered
-				rx.Outcome = reception.Kind
-				stats.Lost += physical - delivered
-				switch {
-				case effective == 0:
-					stats.Silences++
-				case effective == 1:
-					stats.Successes++
-				default:
-					stats.Collisions++
-				}
-			}
-			envs[id].replyCh <- reception
-		}
-
-		if nTx > 0 || len(listeners) > 0 || crashes > 0 {
-			res.Rounds = r + 1
-			if obs != nil {
-				obs.ObserveRound(&stats)
-			}
-		}
-	}
-	return nil
 }

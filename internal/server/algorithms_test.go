@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"radiomis/internal/mis"
+)
+
+// TestAlgorithmsEndpoint checks the discovery document: every registered
+// algorithm appears with its model and description, and the param knobs
+// are present.
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var list AlgorithmList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", list.Schema, SchemaVersion)
+	}
+	names := mis.Algorithms()
+	if len(list.Algorithms) != len(names) {
+		t.Fatalf("got %d algorithms, want %d", len(list.Algorithms), len(names))
+	}
+	for i, info := range list.Algorithms {
+		if info.Name != names[i] {
+			t.Errorf("algorithms[%d].Name = %q, want %q", i, info.Name, names[i])
+		}
+		if info.Model == "" || info.Description == "" {
+			t.Errorf("algorithm %q missing model or description", info.Name)
+		}
+	}
+	if len(list.Params) == 0 {
+		t.Error("params list is empty")
+	}
+}
+
+// TestUnknownAlgorithmErrorListsKnown checks the submission-error
+// affordance: a 400 for a bad algorithm name names every registered
+// algorithm and points at the discovery endpoint.
+func TestUnknownAlgorithmErrorListsKnown(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind": "solve", "algorithm": "quantum", "n": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, name := range mis.Algorithms() {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("error body %q does not mention %q", body, name)
+		}
+	}
+	if !strings.Contains(string(body), "/v1/algorithms") {
+		t.Errorf("error body %q does not point at /v1/algorithms", body)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"radiomis/internal/experiments"
@@ -95,7 +96,8 @@ func (r *JobRequest) Normalize() error {
 		r.Algorithm, r.Family, r.N, r.Trials, r.Faults = "", "", 0, 0, nil
 	case KindSolve:
 		if !mis.KnownAlgorithm(r.Algorithm) {
-			return fmt.Errorf("unknown algorithm %q", r.Algorithm)
+			return fmt.Errorf("unknown algorithm %q (known: %s; see GET /v1/algorithms)",
+				r.Algorithm, strings.Join(mis.Algorithms(), ", "))
 		}
 		if r.Family == "" {
 			r.Family = graph.FamilyGNP.String()
@@ -180,6 +182,21 @@ type SolveResult struct {
 type JobList struct {
 	Schema string       `json:"schema"`
 	Jobs   []*JobStatus `json:"jobs"`
+}
+
+// AlgorithmList is the response of GET /v1/algorithms: the discovery
+// document for solve jobs — every registered algorithm (the accepted
+// values of JobRequest.Algorithm) and every tunable parameter knob,
+// straight from the internal/mis registry.
+type AlgorithmList struct {
+	Schema     string              `json:"schema"`
+	Algorithms []mis.AlgorithmInfo `json:"algorithms"`
+	Params     []mis.ParamKnob     `json:"params"`
+}
+
+// AlgorithmCatalog returns the current AlgorithmList.
+func AlgorithmCatalog() AlgorithmList {
+	return AlgorithmList{Schema: SchemaVersion, Algorithms: mis.Infos(), Params: mis.ParamKnobs()}
 }
 
 // Event shapes streamed by GET /v1/jobs/{id}/events. Every line is one

@@ -16,6 +16,7 @@ import (
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream progress as JSON lines (follows until
 //	                            the job is terminal)
+//	GET    /v1/algorithms       discovery: registered algorithms + param knobs
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus-style plain-text counters
 func NewHandler(m *Manager) http.Handler {
@@ -44,6 +45,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, AlgorithmCatalog())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "schema": SchemaVersion})

@@ -6,38 +6,49 @@
 // the paper compares against, and the Theorem 1 lower-bound apparatus.
 //
 // The package is a facade over the internal implementation; it is all a
-// typical user needs:
+// typical user needs. Every algorithm runs through one entry point, Solve,
+// which takes the graph and a Spec naming the algorithm and carrying the
+// optional knobs (seed, context, fault profile, observer):
 //
 //	g := radiomis.GNP(1024, 8.0/1024, 7)           // arbitrary topology
 //	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
-//	res, err := radiomis.SolveCD(g, p, 42)          // Algorithm 1
+//	res, err := radiomis.Solve(g, radiomis.Spec{
+//		Algorithm: "cd",                            // Algorithm 1
+//		Params:    p,
+//		Seed:      42,
+//	})
 //	if err != nil { ... }
 //	fmt.Println(res.MaxEnergy(), res.Rounds)        // O(log n), O(log² n)
 //	if err := res.Check(g); err != nil { ... }      // verify the MIS
 //
-// Solvers:
+// Algorithms() lists the accepted Algorithm names; AlgorithmInfos adds the
+// collision model and a description of each. The registered names:
 //
-//   - SolveCD / SolveBeep — Algorithm 1 (CD model, energy-optimal
-//     O(log n); identical program in the beeping model).
-//   - SolveNoCD — Algorithms 2+3 (no-CD model, O(log² n log log n)
-//     energy).
-//   - SolveLowDegree — the Davies-style §4.2 baseline
-//     (O(log² n log Δ) rounds and energy).
-//   - SolveNaiveCD / SolveNaiveNoCD — the straightforward baselines the
+//   - "cd" / "beep" — Algorithm 1 (CD model, energy-optimal O(log n);
+//     identical program in the beeping model).
+//   - "nocd" — Algorithms 2+3 (no-CD model, O(log² n log log n) energy).
+//   - "lowdegree" — the Davies-style §4.2 baseline (O(log² n log Δ)
+//     rounds and energy).
+//   - "naive-cd" / "naive-nocd" — the straightforward baselines the
 //     paper's algorithms improve on.
-//   - SolveUnknownDelta — the §1.1 extension for unknown maximum degree.
+//   - "unknown-delta" — the §1.1 extension for unknown maximum degree.
 //
-// All runs are deterministic in (graph, params, seed).
+// The per-algorithm SolveCD, SolveBeep, … functions are one-line
+// conveniences over Solve. All runs are deterministic in
+// (graph, params, seed).
 package radiomis
 
 import (
+	"context"
 	"math/rand"
 
 	"radiomis/internal/backbone"
 	"radiomis/internal/congest"
+	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/leader"
 	"radiomis/internal/mis"
+	"radiomis/internal/radio"
 	"radiomis/internal/rng"
 )
 
@@ -56,12 +67,72 @@ type (
 	Status = mis.Status
 )
 
-// Node verdicts.
+// Node verdicts. StatusCrashed is only reachable under a Spec with crash
+// faults enabled.
 const (
 	StatusUndecided = mis.StatusUndecided
 	StatusInMIS     = mis.StatusInMIS
 	StatusOutMIS    = mis.StatusOutMIS
+	StatusCrashed   = mis.StatusCrashed
 )
+
+// Optional-knob types used by Spec.
+type (
+	// FaultProfile perturbs a run's radio channel (message loss, noise,
+	// jamming, node crashes). The zero value is the clean model.
+	FaultProfile = faults.Profile
+	// Observer receives per-round engine statistics and halt events.
+	Observer = radio.Observer
+	// AlgorithmInfo describes one registered algorithm.
+	AlgorithmInfo = mis.AlgorithmInfo
+	// ParamKnob describes one tunable Params field.
+	ParamKnob = mis.ParamKnob
+)
+
+// Spec names the algorithm of a Solve call and carries its optional knobs.
+// The zero values of everything but Algorithm and Params give a clean,
+// unbounded, unobserved run.
+type Spec struct {
+	// Algorithm is the registered algorithm name (see Algorithms).
+	Algorithm string
+	// Params configures the algorithm (see DefaultParams / PaperParams).
+	Params Params
+	// Seed makes the run deterministic: equal (graph, params, seed) yield
+	// bit-for-bit identical results.
+	Seed uint64
+	// Ctx, when non-nil, bounds the run: cancellation aborts the
+	// simulation at the next round boundary.
+	Ctx context.Context
+	// Faults perturbs the run with a fault profile; the zero profile is
+	// bit-for-bit identical to a clean run.
+	Faults FaultProfile
+	// Observer, when non-nil, receives per-round statistics and halt
+	// events as the simulation progresses.
+	Observer Observer
+}
+
+// Solve runs the algorithm named by spec on g. It is the single entry
+// point behind every per-algorithm Solve* convenience; an unknown
+// spec.Algorithm yields an error listing the registered names.
+func Solve(g *Graph, spec Spec) (*Result, error) {
+	return mis.Run(spec.Algorithm, g, spec.Params, mis.RunOpts{
+		Seed:     spec.Seed,
+		Ctx:      spec.Ctx,
+		Faults:   spec.Faults,
+		Observer: spec.Observer,
+	})
+}
+
+// Algorithms returns the registered algorithm names, sorted — the accepted
+// values of Spec.Algorithm.
+func Algorithms() []string { return mis.Algorithms() }
+
+// AlgorithmInfos returns the name, collision model, and description of
+// every registered algorithm, sorted by name.
+func AlgorithmInfos() []AlgorithmInfo { return mis.Infos() }
+
+// ParamKnobs describes every tunable Params field.
+func ParamKnobs() []ParamKnob { return mis.ParamKnobs() }
 
 // NewGraph returns an edgeless graph on n vertices; add edges with
 // (*Graph).AddEdge.
@@ -110,40 +181,40 @@ func PaperParams(n, delta int) Params { return mis.ParamsPaper(n, delta) }
 
 // SolveCD runs Algorithm 1 (energy-optimal MIS, CD model) on g.
 func SolveCD(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveCD(g, p, seed)
+	return Solve(g, Spec{Algorithm: "cd", Params: p, Seed: seed})
 }
 
 // SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1).
 func SolveBeep(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveBeep(g, p, seed)
+	return Solve(g, Spec{Algorithm: "beep", Params: p, Seed: seed})
 }
 
 // SolveNoCD runs Algorithm 2 (energy-efficient MIS, no-CD model) on g.
 func SolveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveNoCD(g, p, seed)
+	return Solve(g, Spec{Algorithm: "nocd", Params: p, Seed: seed})
 }
 
 // SolveLowDegree runs the round-improved Davies-style MIS of §4.2 on g in
 // the no-CD model (the best-known-prior baseline).
 func SolveLowDegree(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveLowDegree(g, p, seed)
+	return Solve(g, Spec{Algorithm: "lowdegree", Params: p, Seed: seed})
 }
 
 // SolveNaiveCD runs the straightforward Luby baseline in the CD model
 // (O(log² n) energy).
 func SolveNaiveCD(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveNaiveCD(g, p, seed)
+	return Solve(g, Spec{Algorithm: "naive-cd", Params: p, Seed: seed})
 }
 
 // SolveNaiveNoCD runs the naive backoff simulation of Algorithm 1 in the
 // no-CD model (O(log⁴ n) worst-case energy).
 func SolveNaiveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveNaiveNoCD(g, p, seed)
+	return Solve(g, Spec{Algorithm: "naive-nocd", Params: p, Seed: seed})
 }
 
 // SolveUnknownDelta runs the §1.1 unknown-Δ wrapper in the no-CD model.
 func SolveUnknownDelta(g *Graph, p Params, seed uint64) (*Result, error) {
-	return mis.SolveUnknownDelta(g, p, seed)
+	return Solve(g, Spec{Algorithm: "unknown-delta", Params: p, Seed: seed})
 }
 
 // CongestResult is the outcome of a sleeping-CONGEST run (§1.4's

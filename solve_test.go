@@ -1,0 +1,109 @@
+package radiomis_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"radiomis"
+)
+
+// solveFacades pairs every per-algorithm convenience with its registry
+// name, for the Solve-equivalence sweep.
+var solveFacades = []struct {
+	algo string
+	fn   func(*radiomis.Graph, radiomis.Params, uint64) (*radiomis.Result, error)
+}{
+	{"cd", radiomis.SolveCD},
+	{"beep", radiomis.SolveBeep},
+	{"nocd", radiomis.SolveNoCD},
+	{"lowdegree", radiomis.SolveLowDegree},
+	{"naive-cd", radiomis.SolveNaiveCD},
+	{"naive-nocd", radiomis.SolveNaiveNoCD},
+	{"unknown-delta", radiomis.SolveUnknownDelta},
+}
+
+// TestSolveMatchesFacades pins the unified-API contract: every Solve*
+// convenience is bit-for-bit identical to Solve with the corresponding
+// Spec at the same (graph, params, seed).
+func TestSolveMatchesFacades(t *testing.T) {
+	g := radiomis.GNP(96, 6.0/96, 11)
+	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
+	for _, tc := range solveFacades {
+		t.Run(tc.algo, func(t *testing.T) {
+			want, err := tc.fn(g, p, 42)
+			if err != nil {
+				t.Fatalf("Solve%s: %v", tc.algo, err)
+			}
+			got, err := radiomis.Solve(g, radiomis.Spec{Algorithm: tc.algo, Params: p, Seed: 42})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("Solve(%q) diverges from its facade at the same seed", tc.algo)
+			}
+			if err := got.Check(g); err != nil {
+				t.Errorf("Check: %v", err)
+			}
+		})
+	}
+}
+
+// TestSolveUnknownAlgorithm checks the discovery affordance: the error for
+// a bad name lists every registered algorithm.
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	g := radiomis.Complete(4)
+	p := radiomis.DefaultParams(4, 3)
+	_, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "quantum", Params: p})
+	if err == nil {
+		t.Fatal("Solve accepted unknown algorithm")
+	}
+	for _, name := range radiomis.Algorithms() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered algorithm %q", err, name)
+		}
+	}
+}
+
+// TestSolveSpecKnobs exercises the optional Spec fields: a cancelled
+// context aborts, a fault profile changes the run and populates fault
+// stats, and the registry listing matches the algorithm infos.
+func TestSolveSpecKnobs(t *testing.T) {
+	g := radiomis.GNP(64, 6.0/64, 3)
+	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "cd", Params: p, Ctx: ctx}); err == nil {
+		t.Error("Solve with cancelled context succeeded")
+	}
+
+	faulty, err := radiomis.Solve(g, radiomis.Spec{
+		Algorithm: "cd", Params: p, Seed: 7,
+		Faults: radiomis.FaultProfile{Loss: 0.2},
+	})
+	if err != nil {
+		t.Fatalf("faulty Solve: %v", err)
+	}
+	if faulty.Faults == nil || faulty.Faults.Lost == 0 {
+		t.Error("fault profile produced no loss events")
+	}
+
+	infos := radiomis.AlgorithmInfos()
+	names := radiomis.Algorithms()
+	if len(infos) != len(names) {
+		t.Fatalf("AlgorithmInfos has %d entries, Algorithms %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("infos[%d].Name = %q, want %q", i, info.Name, names[i])
+		}
+		if info.Model == "" || info.Description == "" {
+			t.Errorf("algorithm %q missing model or description", info.Name)
+		}
+	}
+	if len(radiomis.ParamKnobs()) == 0 {
+		t.Error("ParamKnobs is empty")
+	}
+}
