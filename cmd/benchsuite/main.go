@@ -14,7 +14,10 @@
 //
 // The -json report follows the stable experiments.SchemaVersion layout:
 // every experiment's tables plus its metric summaries
-// (count/mean/std/min/max/median/p90 per (series, x, metric) point).
+// (count/mean/std/min/max/median/p90 per (series, x, metric) point), a
+// host header (go version, GOMAXPROCS, engine pool shards), and a
+// per-experiment perf section summarizing the trial wall-time histogram
+// (timing only — metric points stay deterministic in seed and scale).
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"radiomis/internal/experiments"
+	"radiomis/internal/telemetry"
 )
 
 func main() {
@@ -78,8 +82,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	jr := experiments.NewJSONReport(cfg)
 	var runErr error
 	for _, def := range defs {
+		// Fresh registry per experiment: the harness observes per-trial
+		// wall time into it, and the report's perf section summarizes it.
+		// Telemetry never affects the experiment's numbers — metric points
+		// are deterministic in (seed, quick) with or without it.
+		reg := telemetry.New()
 		start := time.Now()
-		rep, err := def.Run(ctx, cfg)
+		rep, err := def.Run(telemetry.WithRegistry(ctx, reg), cfg)
 		if err != nil {
 			runErr = fmt.Errorf("%s: %w", def.ID, err)
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -93,7 +102,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			break
 		}
 		elapsed := time.Since(start)
-		jr.Add(rep, elapsed)
+		jr.Add(rep, elapsed, experiments.PerfFromRegistry(reg))
 		fmt.Fprintln(tablesOut, strings.Repeat("=", 78))
 		fmt.Fprint(tablesOut, rep)
 		fmt.Fprintf(tablesOut, "(%s in %v)\n\n", def.ID, elapsed.Round(time.Millisecond))

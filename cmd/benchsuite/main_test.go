@@ -95,21 +95,63 @@ func TestJSONReportSchema(t *testing.T) {
 		}
 	}
 
+	if jr.Host == nil {
+		t.Fatal("report missing host header")
+	}
+	if jr.Host.GoVersion == "" || jr.Host.GOMAXPROCS < 1 || jr.Host.NumCPU < 1 || jr.Host.PoolShards < 1 {
+		t.Errorf("host header incomplete: %+v", jr.Host)
+	}
+	for _, exp := range jr.Experiments {
+		if exp.Perf == nil {
+			t.Errorf("%s: missing perf section", exp.ID)
+			continue
+		}
+		p := exp.Perf
+		if p.Trials == 0 {
+			t.Errorf("%s: perf reports 0 trials", exp.ID)
+		}
+		tm := p.TrialMs
+		if tm.Mean <= 0 || tm.Max <= 0 {
+			t.Errorf("%s: non-positive trial timings: %+v", exp.ID, tm)
+		}
+		if tm.P50 > tm.P90 || tm.P90 > tm.P99 || tm.P99 > tm.Max*1.001 {
+			t.Errorf("%s: trial quantiles out of order: %+v", exp.ID, tm)
+		}
+	}
+
 	// Field-name stability: the documented keys must appear verbatim; a
 	// renamed json tag is a schema break even if the typed round-trip works.
 	var loose map[string]any
 	if err := json.Unmarshal(raw, &loose); err != nil {
 		t.Fatalf("re-unmarshal: %v", err)
 	}
-	for _, key := range []string{"schema", "seed", "quick", "experiments"} {
+	for _, key := range []string{"schema", "seed", "quick", "host", "experiments"} {
 		if _, ok := loose[key]; !ok {
 			t.Errorf("top-level key %q missing", key)
 		}
 	}
+	host := loose["host"].(map[string]any)
+	for _, key := range []string{"goVersion", "goos", "goarch", "gomaxprocs", "numCpu", "poolShards", "pooled"} {
+		if _, ok := host[key]; !ok {
+			t.Errorf("host key %q missing", key)
+		}
+	}
 	exp0 := loose["experiments"].([]any)[0].(map[string]any)
-	for _, key := range []string{"id", "title", "claim", "durationMs", "tables", "metrics"} {
+	for _, key := range []string{"id", "title", "claim", "durationMs", "perf", "tables", "metrics"} {
 		if _, ok := exp0[key]; !ok {
 			t.Errorf("experiment key %q missing", key)
+		}
+	}
+	perf0 := exp0["perf"].(map[string]any)
+	for _, key := range []string{"trials", "trialMs"} {
+		if _, ok := perf0[key]; !ok {
+			t.Errorf("perf key %q missing", key)
+		}
+	}
+	trialMs := perf0["trialMs"].(map[string]any)
+	for _, key := range []string{"mean", "p50", "p90", "p99", "max"} {
+		if _, ok := trialMs[key]; !ok {
+			t.Errorf("trialMs key %q missing", key)
 		}
 	}
 	met0 := exp0["metrics"].([]any)[0].(map[string]any)

@@ -8,6 +8,7 @@
 //
 //	radiomisd                     # listen on :8347 with default pool sizes
 //	radiomisd -addr :9000 -workers 8 -queue 64 -cache 256
+//	radiomisd -pprof              # also mount /debug/pprof/ profiling endpoints
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs get
 // -drain-timeout to finish, after which their simulations are aborted
@@ -45,6 +46,7 @@ func run(args []string) error {
 		queue        = fs.Int("queue", 32, "max queued jobs before 429 backpressure")
 		cache        = fs.Int("cache", 128, "result-cache capacity (LRU entries)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		pprofOn      = fs.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +56,11 @@ func run(args []string) error {
 	defer stop()
 
 	mgr := server.New(server.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
-	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
+	var hopts []server.HandlerOption
+	if *pprofOn {
+		hopts = append(hopts, server.WithPprof())
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr, hopts...)}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -12,11 +12,24 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"radiomis/internal/obs"
 	"radiomis/internal/radio"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
+	"radiomis/internal/telemetry"
+)
+
+// Telemetry metric names Repeat registers when a telemetry.Registry is
+// installed on the batch context (telemetry.WithRegistry). Consumers —
+// the benchsuite perf report section, the radiomisd /metrics endpoint —
+// look histograms up under these names.
+const (
+	// MetricTrialSeconds is the per-trial wall-clock duration histogram.
+	MetricTrialSeconds = "radiomis_trial_duration_seconds"
+	// MetricTrialsTotal counts completed trials.
+	MetricTrialsTotal = "radiomis_trials_total"
 )
 
 // Metrics is one trial's named measurements.
@@ -80,7 +93,10 @@ type Options struct {
 //
 // Each completed trial additionally reports an obs progress event
 // ({Stage: "trial", Done, Total}) to any sink installed on ctx with
-// obs.ContextWithProgress.
+// obs.ContextWithProgress. If a telemetry.Registry is installed on ctx
+// (telemetry.WithRegistry), each completed trial's wall-clock duration is
+// observed into the MetricTrialSeconds histogram and MetricTrialsTotal is
+// incremented; with no registry the timing path is skipped entirely.
 func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) {
 	if opts.Trials < 1 {
 		return nil, fmt.Errorf("harness: Trials = %d, want ≥ 1", opts.Trials)
@@ -99,6 +115,18 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Telemetry is out-of-band: it never influences seeds, scheduling, or
+	// results, and with no registry on ctx both instruments stay nil and
+	// the workers skip the clock reads.
+	var (
+		trialHist  *telemetry.Histogram
+		trialCount *telemetry.Counter
+	)
+	if reg := telemetry.FromContext(ctx); reg != nil {
+		trialHist = reg.Histogram(MetricTrialSeconds, "Wall-clock duration of one harness trial.")
+		trialCount = reg.Counter(MetricTrialsTotal, "Completed harness trials.")
+	}
+
 	var (
 		results   = make([]Metrics, opts.Trials)
 		mu        sync.Mutex // guards firstErr/firstIdx/completed
@@ -113,10 +141,7 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 	// and CSR adjacency snapshot instead of rebuilding them per trial.
 	// Splitting the machine's parallelism across the workers keeps a
 	// parallel batch from oversubscribing cores with engine shards.
-	shardsPer := runtime.GOMAXPROCS(0) / par
-	if shardsPer < 1 {
-		shardsPer = 1
-	}
+	shardsPer := PoolShards(par)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
@@ -128,6 +153,10 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 				if tctx.Err() != nil {
 					return // batch abandoned: drop remaining work
 				}
+				var start time.Time
+				if trialHist != nil {
+					start = time.Now()
+				}
 				m, err := f(wctx, rng.Mix(opts.Seed, uint64(i)))
 				if err != nil {
 					mu.Lock()
@@ -137,6 +166,10 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 					mu.Unlock()
 					cancel() // fail fast: stop handing out trials
 					return
+				}
+				if trialHist != nil {
+					trialHist.ObserveDuration(time.Since(start))
+					trialCount.Inc()
 				}
 				results[i] = m
 				mu.Lock()
@@ -171,6 +204,22 @@ feed:
 		}
 	}
 	return agg, nil
+}
+
+// PoolShards reports the engine shard count each Repeat worker's
+// radio.Pool gets at the given trial parallelism (≤ 0 means GOMAXPROCS):
+// the machine's parallelism divided across the workers, at least 1. It is
+// exported so report headers (benchsuite's host section) can record the
+// exact pool configuration Repeat used.
+func PoolShards(parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	shards := runtime.GOMAXPROCS(0) / parallelism
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
 }
 
 // Point is one x-position of a series (typically a network size) with its

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+	"radiomis/internal/rng"
+)
+
+// TestJSONLIdenticalWithPerfAttached is the exporter-level neutrality
+// check for the telemetry layer: the JSONL observer stream of a run must
+// be byte-identical with and without radio.Config.Perf attached.
+// Observers record what the algorithm did; RunPerf records where the
+// wall-clock went — attaching the latter can never change the former.
+func TestJSONLIdenticalWithPerfAttached(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"star":   graph.Star(6),
+		"gnp":    graph.GNP(64, 8.0/64, rng.New(5)),
+		"single": graph.New(1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			render := func(perf *radio.RunPerf) []byte {
+				var buf bytes.Buffer
+				w := NewJSONLWriter(&buf)
+				cfg := radio.Config{Model: radio.ModelCD, Seed: 17, Observer: w, Perf: perf}
+				if _, err := radio.Run(g, cfg, pingPong); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			plain := render(nil)
+			instrumented := render(&radio.RunPerf{})
+			if !bytes.Equal(plain, instrumented) {
+				t.Errorf("JSONL stream changed when Perf was attached:\noff:\n%s\non:\n%s", plain, instrumented)
+			}
+		})
+	}
+}

@@ -75,6 +75,13 @@ type Config struct {
 	// overhead against parallelism. See the package Pool for reusing
 	// worker shards across runs.
 	Shards int
+	// Perf, when non-nil, receives the run's scheduler performance
+	// counters (barrier waits, shard busy time, pool/CSR reuse, buffer
+	// growth — see RunPerf). Collection is out-of-band: the Result and
+	// observer stream are bit-identical with Perf set or nil, and a nil
+	// Perf costs the scheduler nothing. The preserved reference engine
+	// ignores it.
+	Perf *RunPerf
 }
 
 // ErrNotUnary is returned when a run configured with UnaryOnly transmits a

@@ -82,14 +82,14 @@ func poolFrom(ctx context.Context) *Pool {
 }
 
 // snapshot returns the CSR adjacency of g, reusing the cached snapshot when
-// the batch stays on one graph.
-func (p *Pool) snapshot(g *graph.Graph) *graph.CSR {
+// the batch stays on one graph, and reports whether the cache served it.
+func (p *Pool) snapshot(g *graph.Graph) (*graph.CSR, bool) {
 	if p.csrFor == g && p.csrN == g.N() && p.csrM == g.M() {
-		return p.csr
+		return p.csr, true
 	}
 	p.csrFor, p.csrN, p.csrM = g, g.N(), g.M()
 	p.csr = graph.BuildCSR(g)
-	return p.csr
+	return p.csr, false
 }
 
 // coordinate runs one scheduled run on the pool's workers and scratch.
@@ -97,7 +97,14 @@ func (p *Pool) coordinate(g *graph.Graph, cfg *Config, inj *faults.Injector, max
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	nShards := shardCount(cfg, g.N(), p.workers)
-	p.s.bind(g, p.snapshot(g), cfg, inj, maxRounds, envs, wakes, res, nShards)
+	csr, cached := p.snapshot(g)
+	p.s.bind(g, csr, cfg, inj, maxRounds, envs, wakes, res, nShards)
+	if cfg.Perf != nil {
+		// After bind's reset: mark the run as pool-backed. bind counted
+		// any buffer growth the pool's warm scratch could not absorb.
+		cfg.Perf.PoolHit = true
+		cfg.Perf.CSRReused = cached
+	}
 	if len(p.s.shards) > 1 && p.ws == nil {
 		p.ws = newWorkerSet(p.workers - 1)
 	}

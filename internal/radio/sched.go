@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
@@ -128,6 +129,13 @@ type sched struct {
 
 	stats RoundStats // observer-only, buffers reused across rounds
 
+	// Perf telemetry (nil/unused unless Config.Perf is set — see perf.go).
+	// phaseNs holds one dispatch's per-shard phase durations; each worker
+	// writes only its own slot during the phase, the coordinator reads
+	// after the barrier.
+	perf    *RunPerf
+	phaseNs []int64
+
 	ws *workerSet // nil means all phases run inline on the coordinator
 }
 
@@ -188,19 +196,26 @@ func (s *sched) dispatch(ph phaseKind) {
 		for i := 0; i < k; i++ {
 			s.runPhase(ph, i)
 		}
-		return
+	} else {
+		ws := s.ws
+		ws.s, ws.ph = s, ph
+		ws.wg.Add(k - 1)
+		for i := 0; i < k-1; i++ {
+			ws.start[i] <- struct{}{}
+		}
+		s.runPhase(ph, 0)
+		ws.wg.Wait()
 	}
-	ws := s.ws
-	ws.s, ws.ph = s, ph
-	ws.wg.Add(k - 1)
-	for i := 0; i < k-1; i++ {
-		ws.start[i] <- struct{}{}
+	if s.perf != nil {
+		s.perfFold()
 	}
-	s.runPhase(ph, 0)
-	ws.wg.Wait()
 }
 
 func (s *sched) runPhase(ph phaseKind, i int) {
+	var start time.Time
+	if s.perf != nil {
+		start = time.Now()
+	}
 	sh := &s.shards[i]
 	switch ph {
 	case phaseFast:
@@ -211,6 +226,9 @@ func (s *sched) runPhase(ph phaseKind, i int) {
 		s.collect(sh)
 	case phaseReceive:
 		s.receive(sh)
+	}
+	if s.perf != nil {
+		s.phaseNs[i] = time.Since(start).Nanoseconds()
 	}
 }
 
@@ -276,8 +294,19 @@ func (s *sched) bind(g *graph.Graph, csr *graph.CSR, cfg *Config, inj *faults.In
 	size := (n + nShards - 1) / nShards
 	size = (size + shardAlign - 1) / shardAlign * shardAlign
 	nShards = (n + size - 1) / size
+	// Perf telemetry is bound before the scratch below so reallocation
+	// events are counted; cfg.Perf == nil keeps every site a no-op.
+	s.perf = cfg.Perf
+	if s.perf != nil {
+		s.perf.reset(nShards)
+		if cap(s.phaseNs) < nShards {
+			s.phaseNs = make([]int64, nShards)
+		}
+		s.phaseNs = s.phaseNs[:nShards]
+	}
 	if cap(s.shards) < nShards {
 		s.shards = make([]shard, nShards)
+		s.perfGrow()
 	}
 	s.shards = s.shards[:nShards]
 	for i := range s.shards {
@@ -298,11 +327,13 @@ func (s *sched) bind(g *graph.Graph, csr *graph.CSR, cfg *Config, inj *faults.In
 	words := (n + 63) / 64
 	if cap(s.txBits) < words {
 		s.txBits = make([]uint64, words)
+		s.perfGrow()
 	}
 	s.txBits = s.txBits[:words]
 	clear(s.txBits)
 	if cap(s.txPayload) < n {
 		s.txPayload = make([]uint64, n)
+		s.perfGrow()
 	}
 	s.txPayload = s.txPayload[:n]
 }
@@ -311,6 +342,10 @@ func (s *sched) bind(g *graph.Graph, csr *graph.CSR, cfg *Config, inj *faults.In
 // event, run it through the fast or fault path, and stop when every node
 // has halted (or terminally crashed).
 func (s *sched) loop() error {
+	if s.perf != nil {
+		start := time.Now()
+		defer func() { s.perf.finish(time.Since(start)) }()
+	}
 	for s.active > 0 {
 		// Cooperative abort: one non-blocking check per round boundary
 		// keeps a cancelled (or timed-out) run from burning CPU through
@@ -327,8 +362,14 @@ func (s *sched) loop() error {
 		s.round = r
 		var err error
 		if s.inj == nil {
+			if s.perf != nil {
+				s.perf.FastRounds++
+			}
 			err = s.fastRound(r)
 		} else {
+			if s.perf != nil {
+				s.perf.FaultRounds++
+			}
 			err = s.faultRound(r)
 		}
 		if err != nil {

@@ -44,26 +44,36 @@ func benchProgram(env *Env) int64 {
 //	           snapshot and scratch)
 //	pooled     the scheduler behind a Pool, as harness batches run it
 //	           (workers, buffers, and CSR snapshot amortized across trials)
+//	perf       the pooled configuration with RunPerf telemetry attached —
+//	           its gap to "pooled" is the telemetry overhead the ISSUE 5
+//	           acceptance bounds (≤ 3% time/op, no per-round allocations)
 //
-// All three produce bit-identical Results (sched_parity_test.go), so the
-// ratio is pure engine speed. The deterministic rounds/op metric doubles
-// as a drift guard: CI runs this benchmark at -benchtime=1x and any change
-// in rounds/op means simulation behavior changed, not just timing.
+// All four produce bit-identical Results (sched_parity_test.go,
+// perf_parity tests), so the ratios are pure engine speed. The
+// deterministic rounds/op metric doubles as a drift guard: CI runs this
+// benchmark at -benchtime=1x and any change in rounds/op means simulation
+// behavior changed, not just timing; CI also compares the sched/pooled vs
+// perf allocs/op (scripts/benchallocs.py) so telemetry can never quietly
+// start allocating.
 func BenchmarkRun(b *testing.B) {
 	for _, n := range []int{1024, 4096} {
 		g := graph.GNP(n, 8.0/float64(n), rand.New(rand.NewSource(4096)))
-		for _, engine := range []string{"reference", "sched", "pooled"} {
+		for _, engine := range []string{"reference", "sched", "pooled", "perf"} {
 			b.Run(fmt.Sprintf("%s/gnp/n=%d", engine, n), func(b *testing.B) {
 				ctx := context.Background()
-				if engine == "pooled" {
+				if engine == "pooled" || engine == "perf" {
 					pool := NewPool(0)
 					defer pool.Close()
 					ctx = WithPool(ctx, pool)
 				}
+				var perf *RunPerf
+				if engine == "perf" {
+					perf = &RunPerf{}
+				}
 				var rounds uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					cfg := Config{Model: ModelCD, Seed: uint64(i), Ctx: ctx}
+					cfg := Config{Model: ModelCD, Seed: uint64(i), Ctx: ctx, Perf: perf}
 					var (
 						res *Result
 						err error

@@ -150,8 +150,14 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	Result      *JobResult `json:"result,omitempty"`
+	// QueueWaitMs is the time the job spent queued before it started
+	// (present once the job has started).
+	QueueWaitMs *float64 `json:"queueWaitMs,omitempty"`
+	// RunMs is the job's execution wall time: final for terminal jobs,
+	// elapsed-so-far for running ones (present once the job has started).
+	RunMs  *float64   `json:"runMs,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
 }
 
 // JobResult is a completed job's payload; exactly one field is set,
@@ -200,8 +206,8 @@ func AlgorithmCatalog() AlgorithmList {
 }
 
 // Event shapes streamed by GET /v1/jobs/{id}/events. Every line is one
-// self-contained JSON object with an "ev" discriminator ("state" or
-// "progress"), mirroring the internal/obs JSONL convention.
+// self-contained JSON object with an "ev" discriminator ("state",
+// "progress", or "perf"), mirroring the internal/obs JSONL convention.
 type stateEvent struct {
 	Ev    string `json:"ev"`
 	State string `json:"state"`
@@ -214,4 +220,19 @@ type progressEvent struct {
 	Done  int     `json:"done"`
 	Total int     `json:"total"`
 	X     float64 `json:"x,omitempty"`
+}
+
+// perfEvent is emitted once per executed job, immediately before its
+// terminal state event: where the job's wall-clock went, split into queue
+// wait and execution. Jobs served from cache or canceled before starting
+// never ran, so they emit no perf event.
+type perfEvent struct {
+	Ev          string  `json:"ev"`
+	QueueWaitMs float64 `json:"queueWaitMs"`
+	RunMs       float64 `json:"runMs"`
+}
+
+// durationMs converts a duration to fractional milliseconds for the wire.
+func durationMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }

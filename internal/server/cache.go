@@ -1,6 +1,9 @@
 package server
 
-import "container/list"
+import (
+	"container/list"
+	"time"
+)
 
 // resultCache is a fixed-capacity LRU mapping canonical request keys to
 // completed job results. It is not safe for concurrent use; the Manager
@@ -12,8 +15,9 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	val *JobResult
+	key      string
+	val      *JobResult
+	storedAt time.Time
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -24,14 +28,16 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// Get returns the cached result for key, promoting it to most recent.
-func (c *resultCache) Get(key string) (*JobResult, bool) {
+// Get returns the cached result for key and its age (time since it was
+// stored), promoting it to most recent.
+func (c *resultCache) Get(key string) (*JobResult, time.Duration, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	e := el.Value.(*cacheEntry)
+	return e.val, time.Since(e.storedAt), true
 }
 
 // Put inserts or refreshes key, evicting the least recently used entry
@@ -41,11 +47,13 @@ func (c *resultCache) Put(key string, val *JobResult) {
 		return
 	}
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val = val
+		e.storedAt = time.Now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, storedAt: time.Now()})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -5,7 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+
+	"radiomis/internal/telemetry"
 )
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts Go's net/http/pprof profiling endpoints under
+// GET /debug/pprof/. Off by default: the profile endpoints expose stack
+// traces and can run CPU profiles on demand, so they are opt-in
+// (radiomisd's -pprof flag) and belong behind the same trust boundary as
+// the rest of the API.
+func WithPprof() HandlerOption {
+	return func(c *handlerConfig) { c.pprof = true }
+}
 
 // NewHandler returns the radiomisd HTTP API:
 //
@@ -18,8 +37,13 @@ import (
 //	                            the job is terminal)
 //	GET    /v1/algorithms       discovery: registered algorithms + param knobs
 //	GET    /healthz             liveness probe
-//	GET    /metrics             Prometheus-style plain-text counters
-func NewHandler(m *Manager) http.Handler {
+//	GET    /metrics             Prometheus text exposition (format 0.0.4)
+//	GET    /debug/pprof/...     Go profiling endpoints (only with WithPprof)
+func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(m, w, r)
@@ -55,6 +79,15 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(m, w)
 	})
+	if cfg.pprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} itself,
+		// so the trailing-slash pattern covers every named profile.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -122,19 +155,8 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleMetrics(m *Manager, w http.ResponseWriter) {
-	s := m.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "radiomisd_jobs_submitted_total %d\n", s.Submitted)
-	fmt.Fprintf(w, "radiomisd_jobs_executed_total %d\n", s.Executed)
-	fmt.Fprintf(w, "radiomisd_jobs_cache_hits_total %d\n", s.CacheHits)
-	fmt.Fprintf(w, "radiomisd_jobs_dedup_hits_total %d\n", s.DedupHits)
-	fmt.Fprintf(w, "radiomisd_jobs_done_total %d\n", s.Done)
-	fmt.Fprintf(w, "radiomisd_jobs_failed_total %d\n", s.Failed)
-	fmt.Fprintf(w, "radiomisd_jobs_canceled_total %d\n", s.Canceled)
-	fmt.Fprintf(w, "radiomisd_queue_rejected_total %d\n", s.QueueRejected)
-	fmt.Fprintf(w, "radiomisd_queue_depth %d\n", s.QueueDepth)
-	fmt.Fprintf(w, "radiomisd_cache_entries %d\n", s.CacheLen)
-	fmt.Fprintf(w, "radiomisd_workers %d\n", s.Workers)
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	m.WriteMetrics(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"radiomis/internal/obs"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
+	"radiomis/internal/telemetry"
 )
 
 // Sentinel errors surfaced by Submit; the HTTP layer maps them to status
@@ -84,12 +86,47 @@ type Manager struct {
 	queue    chan *Job
 	seq      int
 	draining bool
-	counts   struct {
-		submitted, executed, cacheHits, dedupHits uint64
-		done, failed, canceled, queueRejected     uint64
-	}
+
+	// reg is the daemon-wide telemetry registry behind GET /metrics; met
+	// holds the instruments registered on it. Counters are atomic, so
+	// they're bumped outside m.mu where convenient.
+	reg *telemetry.Registry
+	met managerMetrics
 
 	wg sync.WaitGroup
+}
+
+// managerMetrics bundles the manager's telemetry instruments. The counter
+// names match the historical bare-line /metrics output, so dashboards keyed
+// on them survived the move to full Prometheus exposition.
+type managerMetrics struct {
+	submitted, executed, cacheHits, dedupHits *telemetry.Counter
+	done, failed, canceled, queueRejected     *telemetry.Counter
+	queueDepth, cacheEntries, workers         *telemetry.Gauge
+	queueWait, runDur, cacheAge               *telemetry.Histogram
+	trials                                    *telemetry.Counter
+	trialDur                                  *telemetry.Histogram
+}
+
+func newManagerMetrics(reg *telemetry.Registry) managerMetrics {
+	return managerMetrics{
+		submitted:     reg.Counter("radiomisd_jobs_submitted_total", "Accepted job submissions, including cache and dedup hits."),
+		executed:      reg.Counter("radiomisd_jobs_executed_total", "Jobs that actually started running a simulation."),
+		cacheHits:     reg.Counter("radiomisd_jobs_cache_hits_total", "Submissions answered from the result cache."),
+		dedupHits:     reg.Counter("radiomisd_jobs_dedup_hits_total", "Submissions coalesced onto an identical in-flight job."),
+		done:          reg.Counter("radiomisd_jobs_done_total", "Jobs finished successfully."),
+		failed:        reg.Counter("radiomisd_jobs_failed_total", "Jobs finished with an error."),
+		canceled:      reg.Counter("radiomisd_jobs_canceled_total", "Jobs canceled before or during execution."),
+		queueRejected: reg.Counter("radiomisd_queue_rejected_total", "Submissions rejected because the job queue was full."),
+		queueDepth:    reg.Gauge("radiomisd_queue_depth", "Jobs currently waiting in the queue."),
+		cacheEntries:  reg.Gauge("radiomisd_cache_entries", "Entries currently in the result cache."),
+		workers:       reg.Gauge("radiomisd_workers", "Configured job executor count."),
+		queueWait:     reg.Histogram("radiomisd_job_queue_wait_seconds", "Time jobs spent queued before starting."),
+		runDur:        reg.Histogram("radiomisd_job_run_seconds", "Wall-clock execution time of finished jobs."),
+		cacheAge:      reg.Histogram("radiomisd_result_cache_age_seconds", "Age of cached results when served."),
+		trials:        reg.Counter(harness.MetricTrialsTotal, "Completed harness trials across all jobs."),
+		trialDur:      reg.Histogram(harness.MetricTrialSeconds, "Wall-clock duration of one harness trial."),
+	}
 }
 
 // New starts a manager with opts.Workers executor goroutines. Call
@@ -97,6 +134,7 @@ type Manager struct {
 func New(opts Options) *Manager {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := telemetry.New()
 	m := &Manager{
 		opts:       opts,
 		rootCtx:    ctx,
@@ -105,6 +143,8 @@ func New(opts Options) *Manager {
 		inflight:   make(map[string]*Job),
 		cache:      newResultCache(opts.CacheSize),
 		queue:      make(chan *Job, opts.QueueDepth),
+		reg:        reg,
+		met:        newManagerMetrics(reg),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -123,6 +163,12 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// reg is the job's private telemetry registry, installed on the
+	// execution context so the harness feeds per-trial timings into it.
+	// Written by run() before execution and read by finish() after, on the
+	// same worker goroutine — no lock needed.
+	reg *telemetry.Registry
 
 	mu              sync.Mutex // guards the mutable fields below
 	state           string
@@ -160,6 +206,13 @@ func (j *Job) Status() *JobStatus {
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
 		st.StartedAt = &t
+		qw := durationMs(j.startedAt.Sub(j.submittedAt))
+		st.QueueWaitMs = &qw
+		run := durationMs(time.Since(j.startedAt)) // still running: elapsed so far
+		if !j.finishedAt.IsZero() {
+			run = durationMs(j.finishedAt.Sub(j.startedAt))
+		}
+		st.RunMs = &run
 	}
 	if !j.finishedAt.IsZero() {
 		t := j.finishedAt
@@ -259,10 +312,11 @@ func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
 	if m.draining {
 		return nil, false, ErrDraining
 	}
-	m.counts.submitted++
+	m.met.submitted.Inc()
 
-	if res, ok := m.cache.Get(key); ok {
-		m.counts.cacheHits++
+	if res, age, ok := m.cache.Get(key); ok {
+		m.met.cacheHits.Inc()
+		m.met.cacheAge.ObserveDuration(age)
 		j := m.newJobLocked(req, key)
 		j.mu.Lock()
 		j.cached = true
@@ -273,7 +327,7 @@ func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
 		return j, true, nil
 	}
 	if j, ok := m.inflight[key]; ok {
-		m.counts.dedupHits++
+		m.met.dedupHits.Inc()
 		return j, false, nil
 	}
 
@@ -281,7 +335,7 @@ func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
 	select {
 	case m.queue <- j:
 	default:
-		m.counts.queueRejected++
+		m.met.queueRejected.Inc()
 		// Unregister: the job never existed as far as clients can tell.
 		delete(m.jobs, j.id)
 		m.order = m.order[:len(m.order)-1]
@@ -332,7 +386,7 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		j.cancelRequested = true
 		j.setStateLocked(StateCanceled, "canceled before start")
 		delete(m.inflight, j.key)
-		m.counts.canceled++
+		m.met.canceled.Inc()
 	case StateRunning:
 		j.cancelRequested = true
 	}
@@ -347,18 +401,30 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Metrics{
-		Submitted:     m.counts.submitted,
-		Executed:      m.counts.executed,
-		CacheHits:     m.counts.cacheHits,
-		DedupHits:     m.counts.dedupHits,
-		Done:          m.counts.done,
-		Failed:        m.counts.failed,
-		Canceled:      m.counts.canceled,
-		QueueRejected: m.counts.queueRejected,
+		Submitted:     m.met.submitted.Value(),
+		Executed:      m.met.executed.Value(),
+		CacheHits:     m.met.cacheHits.Value(),
+		DedupHits:     m.met.dedupHits.Value(),
+		Done:          m.met.done.Value(),
+		Failed:        m.met.failed.Value(),
+		Canceled:      m.met.canceled.Value(),
+		QueueRejected: m.met.queueRejected.Value(),
 		QueueDepth:    len(m.queue),
 		CacheLen:      m.cache.Len(),
 		Workers:       m.opts.Workers,
 	}
+}
+
+// WriteMetrics refreshes the point-in-time gauges and renders the daemon
+// registry in the Prometheus text exposition format — the body of
+// GET /metrics (serve it with Content-Type telemetry.ContentType).
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	m.mu.Lock()
+	m.met.queueDepth.Set(int64(len(m.queue)))
+	m.met.cacheEntries.Set(int64(m.cache.Len()))
+	m.met.workers.Set(int64(m.opts.Workers))
+	m.mu.Unlock()
+	return m.reg.WritePrometheus(w)
 }
 
 // Shutdown drains the manager: no new submissions are accepted, queued and
@@ -406,35 +472,61 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	j.setStateLocked(StateRunning, "")
+	queueWait := j.startedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
 
-	m.mu.Lock()
-	m.counts.executed++
-	m.mu.Unlock()
+	m.met.executed.Inc()
+	m.met.queueWait.ObserveDuration(queueWait)
 
-	// Stream harness/sweep progress into the job's event log.
+	// Stream harness/sweep progress into the job's event log, and give the
+	// job a private telemetry registry: the harness observes per-trial wall
+	// time into it, the experiment result's perf section summarizes it, and
+	// finish() folds it into the daemon-wide registry behind GET /metrics.
+	j.reg = telemetry.New()
 	ctx := obs.ContextWithProgress(j.ctx, func(ev obs.ProgressEvent) {
 		j.appendEvent(progressEvent{Ev: "progress", Stage: ev.Stage, Done: ev.Done, Total: ev.Total, X: ev.X})
 	})
+	ctx = telemetry.WithRegistry(ctx, j.reg)
 	res, err := execute(ctx, j.req)
 	m.finish(j, res, err)
 }
 
 func (m *Manager) finish(j *Job, res *JobResult, err error) {
+	// Fold the job's private trial telemetry into the daemon registry.
+	if j.reg != nil {
+		if h, ok := j.reg.LookupHistogram(harness.MetricTrialSeconds); ok {
+			m.met.trialDur.Merge(h)
+		}
+		if c, ok := j.reg.LookupCounter(harness.MetricTrialsTotal); ok {
+			m.met.trials.Add(c.Value())
+		}
+	}
+
 	m.mu.Lock()
 	delete(m.inflight, j.key)
 	j.mu.Lock()
+	// Record how long the run took and emit the perf event before the
+	// terminal state event, so event streams still end on "state".
+	if !j.startedAt.IsZero() {
+		runDur := time.Since(j.startedAt)
+		m.met.runDur.ObserveDuration(runDur)
+		j.appendEventLocked(perfEvent{
+			Ev:          "perf",
+			QueueWaitMs: durationMs(j.startedAt.Sub(j.submittedAt)),
+			RunMs:       durationMs(runDur),
+		})
+	}
 	switch {
 	case err == nil:
 		m.cache.Put(j.key, res)
-		m.counts.done++
+		m.met.done.Inc()
 		j.result = res
 		j.setStateLocked(StateDone, "")
 	case j.cancelRequested || errors.Is(err, context.Canceled):
-		m.counts.canceled++
+		m.met.canceled.Inc()
 		j.setStateLocked(StateCanceled, err.Error())
 	default:
-		m.counts.failed++
+		m.met.failed.Inc()
 		j.setStateLocked(StateFailed, err.Error())
 	}
 	j.mu.Unlock()
@@ -457,9 +549,10 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 			return nil, err
 		}
 		// Route the report through the benchsuite serializer so the job's
-		// record matches `benchsuite -json` field for field.
+		// record matches `benchsuite -json` field for field, including the
+		// perf section when the job context carries a telemetry registry.
 		jr := experiments.NewJSONReport(cfg)
-		jr.Add(rep, time.Since(start))
+		jr.Add(rep, time.Since(start), experiments.PerfFromRegistry(telemetry.FromContext(ctx)))
 		return &JobResult{Experiment: &jr.Experiments[0]}, nil
 
 	case KindSolve:

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"radiomis/internal/experiments"
+	"radiomis/internal/telemetry"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Manager, *httptest.Server) {
@@ -348,15 +349,17 @@ func TestEventsStream(t *testing.T) {
 	}
 
 	var states []string
-	trialsSeen := 0
+	trialsSeen, perfSeen := 0, 0
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		var ev struct {
-			Ev    string `json:"ev"`
-			State string `json:"state"`
-			Stage string `json:"stage"`
-			Done  int    `json:"done"`
-			Total int    `json:"total"`
+			Ev          string  `json:"ev"`
+			State       string  `json:"state"`
+			Stage       string  `json:"stage"`
+			Done        int     `json:"done"`
+			Total       int     `json:"total"`
+			QueueWaitMs float64 `json:"queueWaitMs"`
+			RunMs       float64 `json:"runMs"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("event line %q: %v", sc.Text(), err)
@@ -371,6 +374,14 @@ func TestEventsStream(t *testing.T) {
 					t.Errorf("trial event total = %d, want 4", ev.Total)
 				}
 			}
+		case "perf":
+			perfSeen++
+			if len(states) != 2 {
+				t.Errorf("perf event arrived after %d state events, want 2 (before the terminal state)", len(states))
+			}
+			if ev.RunMs <= 0 || ev.QueueWaitMs < 0 {
+				t.Errorf("perf event timings: queueWaitMs=%v runMs=%v, want ≥0 / >0", ev.QueueWaitMs, ev.RunMs)
+			}
 		default:
 			t.Errorf("unknown event discriminator %q", ev.Ev)
 		}
@@ -384,6 +395,9 @@ func TestEventsStream(t *testing.T) {
 	}
 	if trialsSeen != 4 {
 		t.Errorf("saw %d trial progress events, want 4", trialsSeen)
+	}
+	if perfSeen != 1 {
+		t.Errorf("saw %d perf events, want exactly 1", perfSeen)
 	}
 }
 
@@ -417,6 +431,119 @@ func TestHealthzAndMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(body, line) {
 			t.Errorf("metrics missing %q in:\n%s", line, body)
+		}
+	}
+}
+
+// TestMetricsExposition verifies GET /metrics speaks the Prometheus text
+// exposition format 0.0.4: versioned content type, # HELP/# TYPE headers
+// for every family, histogram bucket/sum/count series for the job timing
+// histograms, and the per-trial harness telemetry folded in from executed
+// jobs (3 trials → trial histogram count 3).
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := JobRequest{Kind: KindSolve, Algorithm: "cd", N: 16, Trials: 3, Seed: 1}
+	st, _ := submit(t, ts, req)
+	final := waitTerminal(t, ts, st.ID)
+	if final.QueueWaitMs == nil || *final.QueueWaitMs < 0 {
+		t.Error("terminal job status missing queueWaitMs")
+	}
+	if final.RunMs == nil || *final.RunMs <= 0 {
+		t.Error("terminal job status missing runMs")
+	}
+	// Resubmitting the identical request is a cache hit, giving the
+	// cache-age histogram its sample.
+	submit(t, ts, req)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("content type = %q, want %q", ct, telemetry.ContentType)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	body := buf.String()
+
+	for _, want := range []string{
+		"# HELP radiomisd_jobs_submitted_total ",
+		"# TYPE radiomisd_jobs_submitted_total counter",
+		"# TYPE radiomisd_queue_depth gauge",
+		"# TYPE radiomisd_job_queue_wait_seconds histogram",
+		"# TYPE radiomisd_job_run_seconds histogram",
+		"# TYPE radiomisd_result_cache_age_seconds histogram",
+		`radiomisd_job_run_seconds_bucket{le="+Inf"} 1`,
+		"radiomisd_job_run_seconds_count 1",
+		"radiomisd_job_queue_wait_seconds_count 1",
+		"radiomisd_result_cache_age_seconds_count 1",
+		"radiomis_trial_duration_seconds_count 3",
+		"radiomis_trials_total 3",
+		"radiomisd_jobs_cache_hits_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Every sample line must belong to a family announced by a preceding
+	// # TYPE header (ignoring the _bucket/_sum/_count suffixes).
+	announced := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			announced[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.SplitN(line, " ", 2)[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suf); ok && announced[cut] {
+				base = cut
+			}
+		}
+		if !announced[base] {
+			t.Errorf("sample %q has no preceding # TYPE header", line)
+		}
+	}
+}
+
+// TestPprofOptIn verifies the profiling endpoints exist only when the
+// handler is built with WithPprof.
+func TestPprofOptIn(t *testing.T) {
+	m := New(Options{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	on := httptest.NewServer(NewHandler(m, WithPprof()))
+	defer on.Close()
+	off := httptest.NewServer(NewHandler(m))
+	defer off.Close()
+
+	for url, want := range map[string]int{
+		on.URL + "/debug/pprof/cmdline":  http.StatusOK,
+		on.URL + "/debug/pprof/":         http.StatusOK,
+		off.URL + "/debug/pprof/cmdline": http.StatusNotFound,
+		off.URL + "/debug/pprof/":        http.StatusNotFound,
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", url, resp.StatusCode, want)
 		}
 	}
 }
@@ -496,7 +623,7 @@ func TestExperimentParityWithBenchsuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	jr := experiments.NewJSONReport(cfg)
-	jr.Add(rep, 0)
+	jr.Add(rep, 0, nil)
 	want := jr.Experiments[0]
 	got := final.Result.Experiment
 

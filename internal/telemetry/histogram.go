@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: HDR-style fixed log buckets. Values 0..7 get
+// exact unit buckets; every larger value lands in one of 8 linear
+// sub-buckets of its power-of-two octave, so the relative quantile error
+// is bounded by 1/8 = 12.5% while the whole structure is a fixed array of
+// atomic counters — observation is two atomic adds and an index
+// computation, with no sampling, no locking, and no allocation.
+const (
+	histSubBits  = 3                // 8 sub-buckets per octave
+	histSubCount = 1 << histSubBits //
+	// histBuckets covers uint64 exhaustively: 8 exact unit buckets plus
+	// 8 sub-buckets for each of the 61 octaves [2^3, 2^64).
+	histBuckets = histSubCount + (64-histSubBits)*histSubCount
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	o := uint(bits.Len64(v) - 1) // v ∈ [2^o, 2^(o+1)), o ≥ histSubBits
+	sub := (v >> (o - histSubBits)) & (histSubCount - 1)
+	return int(uint(histSubCount)*(o-histSubBits) + histSubCount + uint(sub))
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < histSubCount {
+		return uint64(i), uint64(i)
+	}
+	j := i - histSubCount
+	o := uint(j/histSubCount) + histSubBits
+	sub := uint64(j % histSubCount)
+	width := uint64(1) << (o - histSubBits)
+	lo = uint64(1)<<o + sub*width
+	return lo, lo + width - 1
+}
+
+// Histogram is a streaming fixed-log-bucket histogram over non-negative
+// integer values (by convention, durations in nanoseconds). It answers
+// count, sum, max, and approximate quantiles (≤ 12.5% relative error)
+// without retaining samples, in constant memory, and is safe for
+// concurrent observation.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds; negative durations
+// (a clock step on a non-monotonic source) clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observed value (exact, unlike quantiles).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Merge adds every observation recorded in o into h. Concurrent observers
+// on either histogram see a merge that is atomic per bucket but not across
+// buckets; merge quiescent histograms when exact totals matter.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		om, cur := o.max.Load(), h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Quantile returns an approximation of the q-quantile (q in [0, 1]) of
+// everything observed so far: the rank is located in the bucket histogram
+// and linearly interpolated within the bucket's bounds. The result is
+// exact for values below 8 and within 12.5% otherwise. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, for
+// consistent multi-quantile reads and serialization.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets []uint64 // len histBuckets, same geometry as Histogram
+}
+
+// Snapshot copies the histogram's current state. Concurrent observations
+// may straddle the copy; each bucket is read atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]uint64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the snapshot's exact mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the approximate q-quantile of the snapshot; see
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(total)
+	cum := 0.0
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			// The top occupied bucket's range can overshoot the true
+			// maximum; clamping keeps the quantile inside observed values.
+			if hi > s.Max && lo <= s.Max {
+				hi = s.Max
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
+// CumulativeAtOrBelow returns how many observations fell into buckets
+// whose entire range is ≤ bound — the cumulative count the Prometheus
+// exposition reports for an `le` boundary. Observations in the bucket
+// straddling bound are excluded, so the reported quantity never
+// overstates.
+func (s HistogramSnapshot) CumulativeAtOrBelow(bound uint64) uint64 {
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		_, hi := bucketBounds(i)
+		if hi <= bound {
+			cum += n
+		}
+	}
+	return cum
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must map back to that bucket, buckets must
+	// tile the value space contiguously, and indices must be monotone.
+	prevHi := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if i > 0 && lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d (gap/overlap)", i, lo, prevHi+1)
+		}
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d [%d,%d] maps to [%d,%d]", i, lo, hi, bucketIndex(lo), bucketIndex(hi))
+		}
+		prevHi = hi
+		if i == histBuckets-1 && hi != math.MaxUint64 {
+			t.Fatalf("last bucket ends at %d, want MaxUint64", hi)
+		}
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	// Values below histSubCount land in exact unit buckets, so quantiles
+	// on them are exact.
+	for v := uint64(0); v < 8; v++ {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 28 {
+		t.Errorf("Sum = %d, want 28", got)
+	}
+	if got := h.Max(); got != 7 {
+		t.Errorf("Max = %d, want 7", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Errorf("Quantile(1) = %v, want 7", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantilesKnownUniform(t *testing.T) {
+	// Uniform integers in [0, 100000): quantiles must land within the
+	// documented 12.5% relative error of the true values.
+	h := NewHistogram()
+	const n = 100000
+	for v := uint64(0); v < n; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50000}, {0.90, 90000}, {0.99, 99000}} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.125 {
+			t.Errorf("Quantile(%v) = %v, want %v ± 12.5%% (rel err %.3f)", tc.q, got, tc.want, rel)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-(n-1)/2.0) > 1 {
+		t.Errorf("Mean = %v, want %v", got, (n-1)/2.0)
+	}
+}
+
+func TestHistogramQuantilesExponential(t *testing.T) {
+	// A long-tailed distribution: p99 must sit far above p50 and within
+	// relative error of the analytic quantiles of Exp(λ).
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(1))
+	const n = 200000
+	const mean = 1e6 // ns
+	for i := 0; i < n; i++ {
+		h.Observe(uint64(r.ExpFloat64() * mean))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, mean * math.Ln2},
+		{0.90, mean * math.Log(10)},
+		{0.99, mean * math.Log(100)},
+	} {
+		got := h.Quantile(tc.q)
+		// 12.5% bucket error plus sampling noise.
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.15 {
+			t.Errorf("Quantile(%v) = %v, want ≈%v (rel err %.3f)", tc.q, got, tc.want, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	for v := uint64(0); v < 1000; v++ {
+		whole.Observe(v * 17)
+		if v%2 == 0 {
+			a.Observe(v * 17)
+		} else {
+			b.Observe(v * 17)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/sum/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Sum(), a.Max(), whole.Count(), whole.Sum(), whole.Max())
+	}
+	sa, sw := a.Snapshot(), whole.Snapshot()
+	for i := range sa.Buckets {
+		if sa.Buckets[i] != sw.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, whole %d", i, sa.Buckets[i], sw.Buckets[i])
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("Count = %d, want %d", got, workers*per)
+	}
+	if got := h.Max(); got != workers*per-1 {
+		t.Errorf("Max = %d, want %d", got, workers*per-1)
+	}
+}
+
+func TestObserveDurationClampsNegative(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(-5 * time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("count/sum = %d/%d, want 1/0", h.Count(), h.Sum())
+	}
+}
+
+func TestCumulativeAtOrBelow(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(0); v < 8; v++ {
+		h.Observe(v) // exact buckets
+	}
+	h.Observe(1 << 30)
+	s := h.Snapshot()
+	if got := s.CumulativeAtOrBelow(3); got != 4 {
+		t.Errorf("CumulativeAtOrBelow(3) = %d, want 4 (values 0,1,2,3)", got)
+	}
+	if got := s.CumulativeAtOrBelow(math.MaxUint64); got != 9 {
+		t.Errorf("CumulativeAtOrBelow(max) = %d, want 9", got)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 1023)
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version served by
+// WritePrometheus (set it as the Content-Type of a /metrics response).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// expositionBounds are the `le` boundaries (in seconds) histograms are
+// summarized under in the exposition. They are fixed — independent of the
+// data — so scrape output is stable and cross-run comparable; the
+// fine-grained log buckets behind them keep full resolution for
+// quantiles. The spread covers sub-millisecond queue waits up to
+// multi-minute experiment runs.
+var expositionBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a `# HELP` and `# TYPE` header per
+// family followed by its samples. Families appear in registration order.
+// Histograms (recorded in nanoseconds) are exposed in seconds with
+// cumulative `le` buckets, `_sum`, and `_count`, matching the Prometheus
+// histogram convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+		return err
+	case KindHistogram:
+		return writeHistogram(w, f.name, f.hist.Snapshot())
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	for _, bound := range expositionBounds {
+		cum := s.CumulativeAtOrBelow(uint64(bound * 1e9))
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+// formatBound renders an `le` boundary without trailing zeros (0.25, 1, 30).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// formatFloat renders a sample value in the shortest round-trip form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

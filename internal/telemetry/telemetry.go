@@ -1,0 +1,203 @@
+// Package telemetry is the repo's performance-telemetry substrate: a
+// lightweight metrics registry of atomic counters, gauges, and streaming
+// fixed-log-bucket duration histograms (p50/p90/p99 without retaining
+// samples), plus a Prometheus text-exposition writer.
+//
+// It is deliberately separate from internal/obs: obs answers *what the
+// simulated algorithm did* (reception outcomes, phase-attributed energy —
+// simulation semantics), telemetry answers *where wall-clock time and
+// resources went* (queue waits, trial durations, barrier stalls — host
+// performance). Telemetry is always out-of-band: nothing registered here
+// may influence a simulation result, and every instrumented hot path must
+// be zero-allocation (and near-zero cost) when no registry is attached.
+// See docs/observability.md for the layer split and the metric family
+// reference.
+//
+// All operations on Counter, Gauge, and Histogram are safe for concurrent
+// use and allocation-free. Registration (Registry.Counter etc.) takes a
+// mutex and is idempotent — re-registering a name returns the existing
+// instrument — so instruments can be resolved at use sites without
+// plumbing them individually.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Kind discriminates the instrument families a Registry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one registered metric family: a name, its help text, and
+// exactly one instrument.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metric families. The zero value is not usable; use
+// New. Instrumented code paths treat "no registry" (FromContext returning
+// nil) as telemetry disabled and must skip all instrument calls — the
+// instrument types do not accept nil receivers.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register resolves or creates the named family, enforcing kind
+// consistency. Help text from the first registration wins.
+func (r *Registry) register(name, help string, kind Kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	switch kind {
+	case KindCounter:
+		f.counter = &Counter{}
+	case KindGauge:
+		f.gauge = &Gauge{}
+	case KindHistogram:
+		f.hist = NewHistogram()
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+// Counter resolves (registering on first use) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter).counter
+}
+
+// Gauge resolves (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge).gauge
+}
+
+// Histogram resolves (registering on first use) the named duration
+// histogram. By convention histogram names end in "_seconds"; observations
+// are recorded in nanoseconds and converted at exposition time.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, KindHistogram).hist
+}
+
+// LookupHistogram returns the named histogram if it has been registered,
+// without creating it. It reports false when the name is absent or bound
+// to a different kind.
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok || f.kind != KindHistogram {
+		return nil, false
+	}
+	return f.hist, true
+}
+
+// LookupCounter returns the named counter if it has been registered,
+// without creating it.
+func (r *Registry) LookupCounter(name string) (*Counter, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok || f.kind != KindCounter {
+		return nil, false
+	}
+	return f.counter, true
+}
+
+// snapshotFamilies returns the families in registration order; the slice
+// is private to the caller, the *family values are shared.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// registryKey carries a *Registry on a context.
+type registryKey struct{}
+
+// WithRegistry returns a context carrying reg. Instrumented layers
+// (harness trials, the radiomisd job loop) resolve it with FromContext and
+// stay silent — and allocation-free — when none is attached.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, reg)
+}
+
+// FromContext extracts the registry installed by WithRegistry, or nil.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	reg, _ := ctx.Value(registryKey{}).(*Registry)
+	return reg
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := New()
+	c1 := r.Counter("x_total", "a counter")
+	c1.Add(3)
+	c2 := r.Counter("x_total", "different help is ignored")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	if c2.Value() != 3 {
+		t.Errorf("counter lost its value on re-registration: %d", c2.Value())
+	}
+	h1 := r.Histogram("d_seconds", "a histogram")
+	if h2, ok := r.LookupHistogram("d_seconds"); !ok || h1 != h2 {
+		t.Error("LookupHistogram did not find the registered histogram")
+	}
+	if _, ok := r.LookupHistogram("x_total"); ok {
+		t.Error("LookupHistogram resolved a counter name")
+	}
+	if _, ok := r.LookupCounter("d_seconds"); ok {
+		t.Error("LookupCounter resolved a histogram name")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("name", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name under two kinds did not panic")
+		}
+	}()
+	r.Gauge("name", "")
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context yielded a registry")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerance is the contract
+		t.Error("nil context yielded a registry")
+	}
+	r := New()
+	ctx := WithRegistry(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Error("FromContext did not round-trip the registry")
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("radiomisd_jobs_done_total", "jobs finished successfully").Add(6)
+	r.Gauge("radiomisd_queue_depth", "jobs currently waiting").Set(2)
+	h := r.Histogram("radiomisd_job_run_seconds", "job execution wall time")
+	h.Observe(2_000_000)   // 2ms
+	h.Observe(300_000_000) // 300ms
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP radiomisd_jobs_done_total jobs finished successfully\n",
+		"# TYPE radiomisd_jobs_done_total counter\n",
+		"radiomisd_jobs_done_total 6\n",
+		"# TYPE radiomisd_queue_depth gauge\n",
+		"radiomisd_queue_depth 2\n",
+		"# TYPE radiomisd_job_run_seconds histogram\n",
+		`radiomisd_job_run_seconds_bucket{le="+Inf"} 2` + "\n",
+		"radiomisd_job_run_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The 2ms observation is ≤ the 0.0025s boundary; the 300ms one only
+	// enters at 0.5s (bucket upper bounds are conservative).
+	if !strings.Contains(out, `radiomisd_job_run_seconds_bucket{le="0.0025"} 1`) {
+		t.Errorf("2ms observation not cumulated at le=0.0025:\n%s", out)
+	}
+	if !strings.Contains(out, `radiomisd_job_run_seconds_bucket{le="1"} 2`) {
+		t.Errorf("both observations not cumulated at le=1:\n%s", out)
+	}
+
+	validateExposition(t, out)
+}
+
+// validateExposition is a minimal checker of the text exposition format:
+// comments are HELP/TYPE with known types, sample lines are
+// `name[{labels}] value`, every sample belongs to the most recent TYPE'd
+// family, and histogram buckets are cumulative.
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	family := ""
+	var lastBucket uint64
+	sawSample := false
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown TYPE %q in %q", parts[3], line)
+			}
+			family = parts[2]
+			lastBucket = 0
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unknown comment line %q", line)
+		default:
+			sawSample = true
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Errorf("malformed sample line %q", line)
+				continue
+			}
+			name := fields[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if family == "" || (name != family && base != family) {
+				t.Errorf("sample %q outside its TYPE'd family (current family %q)", line, family)
+			}
+			if strings.Contains(fields[0], "_bucket{") {
+				v, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					t.Errorf("bucket value %q not an integer", fields[1])
+					continue
+				}
+				if v < lastBucket {
+					t.Errorf("histogram buckets not cumulative at %q (%d < %d)", line, v, lastBucket)
+				}
+				lastBucket = v
+			}
+		}
+	}
+	if !sawSample {
+		t.Error("exposition contained no samples")
+	}
+}

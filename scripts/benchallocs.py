@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check that telemetry collection adds no allocations to the engine.
+
+Reads `go test -bench BenchmarkRun -benchmem` output (a file argument or
+stdin) and asserts that, for every workload size, the "perf" engine variant
+(pooled scheduler with a RunPerf sink attached) reports allocs/op no worse
+than the plain "pooled" variant. Worker-side buffer growth makes allocs/op
+mildly scheduling-dependent, so when the input holds several runs per
+variant (-count=N) the minimum is compared — noise only ever adds
+allocations — under a small relative slack.
+
+This is the coarse CI guard against gross telemetry regressions (a
+per-round or per-node allocation inflates allocs/op by thousands). The
+fine-grained zero-alloc contract — under one alloc per 100 rounds — is
+enforced deterministically by TestPerfDisabledAddsNoAllocs and
+TestPerfEnabledAddsNoPerRoundAllocs in internal/radio.
+
+Exit status: 0 if every workload is within slack (and at least one was
+seen), 1 otherwise.
+"""
+import re
+import sys
+
+LINE = re.compile(
+    r"^BenchmarkRun/(?P<engine>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
+)
+ALLOCS = re.compile(r"(\d+) allocs/op")
+
+# Allowed allocs/op increase of "perf" over "pooled": a constant for the
+# per-run timing closure plus a relative term for scheduling jitter.
+SLACK_ABS = 16
+SLACK_REL = 0.03
+
+
+def main(argv):
+    src = open(argv[1]) if len(argv) > 1 else sys.stdin
+    seen = {}  # workload -> {engine: min allocs/op across repeats}
+    for line in src:
+        m = LINE.match(line.strip())
+        if not m:
+            continue
+        a = ALLOCS.search(m.group("metrics"))
+        if not a:
+            continue
+        work, engine, allocs = m.group("work"), m.group("engine"), int(a.group(1))
+        engines = seen.setdefault(work, {})
+        engines[engine] = min(engines.get(engine, allocs), allocs)
+
+    pairs = {w: e for w, e in seen.items() if "pooled" in e and "perf" in e}
+    if not pairs:
+        print(
+            "benchallocs: no pooled/perf BenchmarkRun pairs found "
+            "(did you pass -benchmem?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    ok = True
+    for work, engines in sorted(pairs.items()):
+        pooled, perf = engines["pooled"], engines["perf"]
+        slack = SLACK_ABS + int(SLACK_REL * pooled)
+        delta = perf - pooled
+        status = "ok" if delta <= slack else "REGRESSION"
+        if delta > slack:
+            ok = False
+        print(
+            f"{status:10}  {work}: pooled={pooled} perf={perf} allocs/op "
+            f"(delta {delta:+d}, slack {slack})"
+        )
+    if not ok:
+        print(
+            "benchallocs: telemetry allocs/op regressed beyond slack — "
+            "RunPerf's no-allocation contract is likely broken",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchallocs: telemetry allocation-neutral across {len(pairs)} workloads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

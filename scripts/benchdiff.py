@@ -9,6 +9,11 @@ means the simulation's behavior changed. Wall-clock fields (durationMs)
 are ignored. Exits 0 when every shared metric point matches, 1 on any
 difference, missing experiment, or missing point — CI runs this as a
 warn-only step so intentional changes just need a regenerated baseline.
+
+Reports may also carry a per-experiment "perf" section (trial wall-time
+histogram summaries). Perf numbers are hardware- and load-dependent, so
+they are compared informationally only: mean-trial-time drift beyond
+±20% prints a PERF warning but never changes the exit code.
 """
 
 import json
@@ -23,6 +28,33 @@ def metric_points(report):
             key = (exp["id"], pt["series"], pt["x"], pt["metric"])
             points[key] = pt["summary"]
     return points
+
+
+PERF_DRIFT = 0.20  # warn when mean trial time moves more than ±20%
+
+
+def perf_sections(report):
+    """Flatten a report into {experiment: perf section} (absent ones skipped)."""
+    return {
+        exp["id"]: exp["perf"]
+        for exp in report.get("experiments", [])
+        if exp.get("perf")
+    }
+
+
+def warn_perf_drift(baseline, current):
+    """Print warn-only PERF lines for wall-time drift; never affects exit."""
+    base, cur = perf_sections(baseline), perf_sections(current)
+    for exp_id in sorted(set(base) & set(cur)):
+        b, c = base[exp_id]["trialMs"]["mean"], cur[exp_id]["trialMs"]["mean"]
+        if b <= 0:
+            continue
+        drift = (c - b) / b
+        if abs(drift) > PERF_DRIFT:
+            print(
+                f"PERF     {exp_id}: mean trial time {b:.2f}ms -> {c:.2f}ms "
+                f"({drift:+.0%}; informational, threshold ±{PERF_DRIFT:.0%})"
+            )
 
 
 def main():
@@ -49,6 +81,8 @@ def main():
             drifted += 1
     for key in sorted(set(cur) - set(base)):
         print(f"NEW      {'/'.join(map(str, key))}: not in baseline (regenerate it?)")
+
+    warn_perf_drift(baseline, current)
 
     total = len(base)
     if drifted:
