@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"radiomis/internal/experiments"
+	"radiomis/internal/logx"
 	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
 )
 
 func main() {
@@ -49,14 +51,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "suite seed")
 		jsonPath = fs.String("json", "", "write a machine-readable report to this file (\"-\" = stdout)")
 		timeout  = fs.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt   = fs.String("log-format", "text", "log format: text or json")
+		traceOut = fs.String("trace", "", "write a Chrome trace of the suite's spans to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := logx.ParseFormat(*logFmt)
+	if err != nil {
+		return err
+	}
+	log := logx.New(os.Stderr, level, format)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	// Tracing is opt-in and out-of-band: the report's metric points are
+	// bit-identical with or without -trace.
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(0)
+		ctx = trace.WithTracer(ctx, tracer)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
@@ -88,7 +109,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// are deterministic in (seed, quick) with or without it.
 		reg := telemetry.New()
 		start := time.Now()
-		rep, err := def.Run(telemetry.WithRegistry(ctx, reg), cfg)
+		ectx, sp := trace.Start(ctx, "benchsuite.experiment", trace.A("experiment", def.ID))
+		log.DebugContext(ectx, "experiment starting", "experiment", def.ID)
+		rep, err := def.Run(telemetry.WithRegistry(ectx, reg), cfg)
+		sp.End()
 		if err != nil {
 			runErr = fmt.Errorf("%s: %w", def.ID, err)
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -102,6 +126,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			break
 		}
 		elapsed := time.Since(start)
+		log.Info("experiment done", "experiment", def.ID, "duration", elapsed.Round(time.Millisecond).String())
 		jr.Add(rep, elapsed, experiments.PerfFromRegistry(reg))
 		fmt.Fprintln(tablesOut, strings.Repeat("=", 78))
 		fmt.Fprint(tablesOut, rep)
@@ -113,7 +138,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return fmt.Errorf("writing json report: %w", err)
 		}
 	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		log.Info("trace written", "path", *traceOut, "spans", len(tracer.Spans()))
+	}
 	return runErr
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace-event file
+// (loadable in chrome://tracing or ui.perfetto.dev).
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tracer.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(jr *experiments.JSONReport, path string, stdout io.Writer) error {

@@ -8,6 +8,7 @@
 //	radiomis -algo nocd -graph unitdisk -n 256 -trials 5
 //	radiomis -algo cd -graph grid -n 400 -v      # per-node dump
 //	radiomis -algo cd -n 512 -faults loss=0.2,crash=0.01,restart=16
+//	radiomis -algo cd -n 512 -trace run.json     # span timeline for chrome://tracing
 //
 // Algorithms: cd, beep, nocd, lowdegree, naive-cd, naive-nocd,
 // unknown-delta. Graphs: gnp, unitdisk, grid, tree, hypercube, clique,
@@ -30,9 +31,11 @@ import (
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
+	"radiomis/internal/logx"
 	"radiomis/internal/mis"
 	"radiomis/internal/radio"
 	"radiomis/internal/rng"
+	"radiomis/internal/trace"
 )
 
 func main() {
@@ -60,10 +63,22 @@ func run(args []string) error {
 		faultStr = fs.String("faults", "", "fault profile spec, e.g. loss=0.1,jam=64,crash=0.005,restart=16")
 		timeout  = fs.Duration("timeout", 0, "abort runs that exceed this wall-clock budget (0 = none)")
 		verbose  = fs.Bool("v", false, "print per-node status and energy")
+		logLevel = fs.String("log-level", "warn", "log level: debug, info, warn, error")
+		logFmt   = fs.String("log-format", "text", "log format: text or json")
+		traceOut = fs.String("trace", "", "write a Chrome trace of the run's spans to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := logx.ParseFormat(*logFmt)
+	if err != nil {
+		return err
+	}
+	log := logx.New(os.Stderr, level, format)
 
 	fam, err := graph.ParseFamily(*family)
 	if err != nil {
@@ -84,6 +99,13 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// Tracing is opt-in on the CLI and out-of-band: results are
+	// bit-identical with or without -trace.
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(0)
+		ctx = trace.WithTracer(ctx, tracer)
+	}
 
 	for trial := 0; trial < *trialsN; trial++ {
 		trialSeed := rng.Mix(*seed, uint64(trial))
@@ -92,7 +114,11 @@ func run(args []string) error {
 		if *paper {
 			p = mis.ParamsPaper(g.N(), g.MaxDegree())
 		}
-		res, err := mis.SolveWithFaults(ctx, *algo, g, p, trialSeed, fp)
+		tctx, sp := trace.Start(ctx, "radiomis.trial",
+			trace.A("trial", trial), trace.A("algo", *algo), trace.A("n", g.N()))
+		log.DebugContext(tctx, "trial starting", "trial", trial, "algo", *algo, "n", g.N(), "seed", trialSeed)
+		res, err := mis.SolveWithFaults(tctx, *algo, g, p, trialSeed, fp)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -103,6 +129,7 @@ func run(args []string) error {
 		}
 		if check != nil {
 			validity = fmt.Sprintf("INVALID (%v)", check)
+			log.Warn("run produced an invalid MIS", "trial", trial, "algo", *algo, "error", check.Error())
 		}
 		fmt.Printf("trial %d: %s  algo=%s  |MIS|=%d  maxEnergy=%d  avgEnergy=%.1f  rounds=%d  %s\n",
 			trial, g, *algo, res.SetSize(), res.MaxEnergy(), res.AvgEnergy(), res.Rounds, validity)
@@ -116,7 +143,27 @@ func run(args []string) error {
 			}
 		}
 	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		log.Info("trace written", "path", *traceOut, "spans", len(tracer.Spans()))
+	}
 	return nil
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace-event file
+// (loadable in chrome://tracing or ui.perfetto.dev).
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tracer.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // solver validates an algorithm name and returns its classic (context-free,

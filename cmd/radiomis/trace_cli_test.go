@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesChromeTrace checks the -trace flag: the run must produce a
+// valid Chrome trace-event array containing the per-trial spans and their
+// sampled engine round slices.
+func TestRunWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-algo", "cd", "-graph", "cycle", "-n", "32", "-trials", "2",
+		"-trace", path, "-log-level", "error"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace is not a valid JSON array: %v", err)
+	}
+	names := make(map[string]int)
+	for _, ev := range events {
+		names[ev.Name]++
+		if _, ok := ev.Args["traceId"]; !ok {
+			t.Errorf("event %q has no traceId arg", ev.Name)
+		}
+	}
+	if names["radiomis.trial"] != 2 {
+		t.Errorf("got %d radiomis.trial events, want 2", names["radiomis.trial"])
+	}
+	if names["engine.rounds"] == 0 {
+		t.Error("no engine.rounds events in the trace")
+	}
+}
+
+func TestRunBadLogFlags(t *testing.T) {
+	if err := run([]string{"-log-level", "loud"}); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if err := run([]string{"-log-format", "xml"}); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}

@@ -9,6 +9,16 @@
 //	radiomisd                     # listen on :8347 with default pool sizes
 //	radiomisd -addr :9000 -workers 8 -queue 64 -cache 256
 //	radiomisd -pprof              # also mount /debug/pprof/ profiling endpoints
+//	radiomisd -log-format json -log-level debug
+//	radiomisd -trace=false        # disable distributed tracing
+//	radiomisd -version            # print build information and exit
+//
+// The daemon traces by default: every /v1 request runs under a root span
+// (continuing an inbound W3C traceparent), jobs hang their span trees
+// beneath it down to engine round slices, and GET /debug/traces serves
+// the recent spans (?format=chrome or otlp for tool-ready exports).
+// Tracing is out-of-band — simulation results are bit-identical with it
+// on or off.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight jobs get
 // -drain-timeout to finish, after which their simulations are aborted
@@ -20,7 +30,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,7 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"radiomis/internal/logx"
 	"radiomis/internal/server"
+	"radiomis/internal/trace"
 )
 
 func main() {
@@ -47,15 +58,58 @@ func run(args []string) error {
 		cache        = fs.Int("cache", 128, "result-cache capacity (LRU entries)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		pprofOn      = fs.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
+		traceOn      = fs.Bool("trace", true, "trace requests and jobs (see GET /debug/traces)")
+		traceBuffer  = fs.Int("trace-buffer", trace.DefaultCapacity, "recent-span ring capacity")
+		heartbeat    = fs.Duration("event-heartbeat", 15*time.Second, "keep-alive interval for idle event streams (negative disables)")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = fs.String("log-format", "text", "log format: text or json")
+		version      = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		bi := server.ReadBuildInfo()
+		fmt.Printf("radiomisd %s", orUnknown(bi.Version))
+		if bi.Revision != "" {
+			rev := bi.Revision
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if bi.Modified {
+				rev += "-dirty"
+			}
+			fmt.Printf(" (%s)", rev)
+		}
+		fmt.Printf(" %s\n", orUnknown(bi.GoVersion))
+		return nil
+	}
+
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := logx.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	log := logx.New(os.Stderr, level, format)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	mgr := server.New(server.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceBuffer)
+	}
+	mgr := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		Tracer:         tracer,
+		Logger:         log,
+		EventHeartbeat: *heartbeat,
+	})
 	var hopts []server.HandlerOption
 	if *pprofOn {
 		hopts = append(hopts, server.WithPprof())
@@ -64,7 +118,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("radiomisd: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cache)
+		log.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue,
+			"cache", *cache, "tracing", tracer != nil)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -79,14 +134,21 @@ func run(args []string) error {
 	}
 	stop() // a second signal kills the process the default way
 
-	log.Printf("radiomisd: shutting down (drain timeout %v)", *drainTimeout)
+	log.Info("shutting down", "drainTimeout", *drainTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("radiomisd: http shutdown: %v", err)
+		log.Warn("http shutdown", "error", err)
 	}
 	if err := mgr.Shutdown(shutCtx); err != nil {
-		log.Printf("radiomisd: aborted in-flight jobs: %v", err)
+		log.Warn("aborted in-flight jobs", "error", err)
 	}
 	return <-errc
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }

@@ -19,6 +19,7 @@ import (
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
 	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
 )
 
 // Telemetry metric names Repeat registers when a telemetry.Registry is
@@ -112,6 +113,19 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 		par = opts.Trials
 	}
 
+	// Tracing, like telemetry, is out-of-band and free when absent: one
+	// context lookup per Repeat call, one nil check per trial. With a
+	// tracer on ctx the whole batch becomes a "harness.repeat" span and
+	// every trial a "harness.trial" child, so straggler trials are visible
+	// on the trace timeline.
+	tracer := trace.FromContext(ctx)
+	if tracer != nil {
+		var batch *trace.Span
+		ctx, batch = tracer.Start(ctx, "harness.repeat",
+			trace.A("trials", opts.Trials), trace.A("seed", opts.Seed), trace.A("parallelism", par))
+		defer batch.End()
+	}
+
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -157,8 +171,17 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 				if trialHist != nil {
 					start = time.Now()
 				}
-				m, err := f(wctx, rng.Mix(opts.Seed, uint64(i)))
+				seed := rng.Mix(opts.Seed, uint64(i))
+				fctx := wctx
+				var sp *trace.Span
+				if tracer != nil {
+					fctx, sp = tracer.Start(wctx, "harness.trial",
+						trace.A("trial", i), trace.A("trialSeed", seed))
+				}
+				m, err := f(fctx, seed)
 				if err != nil {
+					sp.SetAttr("error", err.Error())
+					sp.End()
 					mu.Lock()
 					if firstErr == nil || i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -167,6 +190,7 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 					cancel() // fail fast: stop handing out trials
 					return
 				}
+				sp.End()
 				if trialHist != nil {
 					trialHist.ObserveDuration(time.Since(start))
 					trialCount.Inc()
@@ -235,14 +259,21 @@ type Series []Point
 // Sweep runs the experiment builder at every x value. build receives the x
 // value and must return the trial function for that size. Cancelling ctx
 // stops the sweep at the current position. Each finished position reports
-// an obs progress event ({Stage: "sweep", Done, Total, X}).
+// an obs progress event ({Stage: "sweep", Done, Total, X}). With a tracer
+// on ctx every position becomes a "harness.sweep" span enclosing its
+// Repeat batch.
 func Sweep(ctx context.Context, xs []float64, opts Options, build func(x float64) TrialFunc) (Series, error) {
 	series := make(Series, 0, len(xs))
 	for i, x := range xs {
-		agg, err := Repeat(ctx, opts, build(x))
+		pctx, sp := trace.Start(ctx, "harness.sweep",
+			trace.A("x", x), trace.A("point", i), trace.A("points", len(xs)))
+		agg, err := Repeat(pctx, opts, build(x))
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, fmt.Errorf("harness: sweep x=%v: %w", x, err)
 		}
+		sp.End()
 		series = append(series, Point{X: x, Agg: agg})
 		obs.Report(ctx, obs.ProgressEvent{Stage: "sweep", Done: i + 1, Total: len(xs), X: x})
 	}

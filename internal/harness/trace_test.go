@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"radiomis/internal/trace"
+)
+
+// TestRepeatTraceSpans checks the shape of a traced batch: one
+// "harness.repeat" span, one "harness.trial" child per trial, every trial
+// parented under the batch and sharing its trace ID.
+func TestRepeatTraceSpans(t *testing.T) {
+	tr := trace.NewSeeded(64, 1)
+	ctx := trace.WithTracer(context.Background(), tr)
+	if _, err := Repeat(ctx, Options{Trials: 6, Seed: 3, Parallelism: 2}, func(_ context.Context, seed uint64) (Metrics, error) {
+		return Metrics{"seed": float64(seed)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	var batch *trace.Span
+	trials := 0
+	for _, sp := range spans {
+		switch sp.Name {
+		case "harness.repeat":
+			if batch != nil {
+				t.Fatal("more than one harness.repeat span")
+			}
+			batch = sp
+		case "harness.trial":
+			trials++
+		}
+	}
+	if batch == nil {
+		t.Fatal("no harness.repeat span recorded")
+	}
+	if trials != 6 {
+		t.Fatalf("got %d harness.trial spans, want 6", trials)
+	}
+	for _, sp := range spans {
+		if sp.Name != "harness.trial" {
+			continue
+		}
+		if sp.Trace != batch.Trace {
+			t.Fatalf("trial span on trace %v, batch on %v", sp.Trace, batch.Trace)
+		}
+		if sp.Parent != batch.ID {
+			t.Fatalf("trial span parent = %v, want batch span %v", sp.Parent, batch.ID)
+		}
+		if sp.EndTime.Before(sp.StartTime) {
+			t.Fatalf("trial span ends before it starts: %+v", sp)
+		}
+	}
+}
+
+// TestSweepTraceSpans checks that each sweep position gets a
+// "harness.sweep" span enclosing that position's batch span.
+func TestSweepTraceSpans(t *testing.T) {
+	tr := trace.NewSeeded(128, 2)
+	ctx := trace.WithTracer(context.Background(), tr)
+	xs := []float64{8, 16, 32}
+	if _, err := Sweep(ctx, xs, Options{Trials: 2, Seed: 5}, func(x float64) TrialFunc {
+		return func(_ context.Context, seed uint64) (Metrics, error) {
+			return Metrics{"x": x}, nil
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	points := make(map[trace.SpanID]bool)
+	batches := 0
+	for _, sp := range tr.Spans() {
+		if sp.Name == "harness.sweep" {
+			points[sp.ID] = true
+		}
+	}
+	if len(points) != len(xs) {
+		t.Fatalf("got %d harness.sweep spans, want %d", len(points), len(xs))
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Name != "harness.repeat" {
+			continue
+		}
+		batches++
+		if !points[sp.Parent] {
+			t.Fatalf("batch span parent %v is not a sweep-point span", sp.Parent)
+		}
+	}
+	if batches != len(xs) {
+		t.Fatalf("got %d harness.repeat spans, want %d", batches, len(xs))
+	}
+}
+
+// TestRepeatTracingIsOutOfBand checks the parity contract: the aggregate
+// of a traced batch is identical to the untraced one (tracing never
+// touches seeds or scheduling), and an untraced batch records nothing.
+func TestRepeatTracingIsOutOfBand(t *testing.T) {
+	run := func(ctx context.Context) []float64 {
+		agg, err := Repeat(ctx, Options{Trials: 8, Seed: 11, Parallelism: 4}, func(_ context.Context, seed uint64) (Metrics, error) {
+			return Metrics{"seed": float64(seed % 4096)}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.Metric("seed")
+	}
+	plain := run(context.Background())
+	tr := trace.NewSeeded(64, 3)
+	traced := run(trace.WithTracer(context.Background(), tr))
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("trial %d: traced seed %v != plain %v", i, traced[i], plain[i])
+		}
+	}
+	if n := tr.Ended(); n == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+}

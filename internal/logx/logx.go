@@ -1,0 +1,113 @@
+// Package logx is the repo's structured-logging layer: a thin
+// configuration shell around log/slog plus a trace-aware handler that
+// stamps every record carrying a span context with its traceId/spanId.
+// It exists so the binaries (radiomisd, benchsuite, radiomis) agree on
+// flags (-log-level, -log-format), on output shape, and on how log lines
+// join the distributed traces from internal/trace: grep a traceId out of
+// a log line and the same ID finds the span tree in /debug/traces or a
+// Chrome export.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"radiomis/internal/trace"
+)
+
+// Output formats accepted by New and ParseFormat.
+const (
+	FormatText = "text" // slog.TextHandler (key=value lines)
+	FormatJSON = "json" // slog.JSONHandler (one object per line)
+)
+
+// ParseLevel converts a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) into a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logx: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// ParseFormat validates a -log-format flag value.
+func ParseFormat(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case FormatText, "":
+		return FormatText, nil
+	case FormatJSON:
+		return FormatJSON, nil
+	default:
+		return "", fmt.Errorf("logx: unknown log format %q (want text or json)", s)
+	}
+}
+
+// New builds a logger writing to w at the given level in the given format
+// (FormatText or FormatJSON). Records logged through the context methods
+// (InfoContext etc.) gain traceId and spanId attributes whenever the
+// context carries a live span from internal/trace.
+func New(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == FormatJSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(&traceHandler{inner: h})
+}
+
+// traceHandler decorates another handler with span correlation: if the
+// record's context carries a span, the record gains traceId/spanId.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := trace.SpanFromContext(ctx); sp.Recording() {
+		sc := sp.Context()
+		rec.AddAttrs(
+			slog.String("traceId", sc.Trace.String()),
+			slog.String("spanId", sc.Span.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// Discard returns a logger that drops everything — the default for
+// libraries whose caller didn't configure logging.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler is a no-op slog.Handler. (log/slog grew its own in Go
+// 1.24; this repo targets 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,97 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"radiomis/internal/trace"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, in := range []string{"text", "json", "", "JSON"} {
+		if _, err := ParseFormat(in); err != nil {
+			t.Errorf("ParseFormat(%q): %v", in, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat(xml) accepted")
+	}
+}
+
+func TestLevelFilters(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelWarn, FormatText)
+	log.Info("quiet")
+	log.Warn("loud")
+	out := buf.String()
+	if strings.Contains(out, "quiet") {
+		t.Error("info line leaked through warn level")
+	}
+	if !strings.Contains(out, "loud") {
+		t.Error("warn line missing")
+	}
+}
+
+// TestJSONInjectsSpanIDs checks the correlation contract: a record logged
+// with a span-carrying context gains that span's traceId/spanId; a record
+// without one has neither key.
+func TestJSONInjectsSpanIDs(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, FormatJSON)
+
+	tr := trace.NewSeeded(8, 1)
+	ctx, sp := tr.Start(context.Background(), "work")
+	log.InfoContext(ctx, "inside span", "k", "v")
+	sp.End()
+	log.InfoContext(context.Background(), "outside span")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	var in, out map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &out); err != nil {
+		t.Fatal(err)
+	}
+	sc := sp.Context()
+	if in["traceId"] != sc.Trace.String() || in["spanId"] != sc.Span.String() {
+		t.Fatalf("span line ids = %v/%v, want %v/%v", in["traceId"], in["spanId"], sc.Trace, sc.Span)
+	}
+	if _, ok := out["traceId"]; ok {
+		t.Error("spanless line carries a traceId")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	log := Discard()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("Discard logger claims to be enabled")
+	}
+	log.Error("dropped") // must not panic
+}

@@ -3,10 +3,12 @@ package mis
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/radio"
+	"radiomis/internal/trace"
 )
 
 // Status is a node's final verdict.
@@ -91,18 +93,53 @@ func runProgramFaults(ctx context.Context, g *graph.Graph, model radio.Model, se
 	return runProgramObserved(ctx, g, model, seed, fp, nil, program)
 }
 
+// EngineSliceRounds is the round-slice sampling granularity used when a
+// trace.Tracer rides the run's context: one engine span per this many
+// executed rounds. Coarse on purpose — spans attribute wall time at the
+// scheduler-loop level, never inside the per-node hot path.
+const EngineSliceRounds = 256
+
 // runProgramObserved is the full-knob execution path (Run resolves here):
 // runProgramFaults with an optional radio.Observer attached to the engine.
-// A nil observer costs nothing.
+// A nil observer costs nothing. When a trace.Tracer is installed on ctx,
+// the run additionally samples the scheduler loop into round slices
+// (radio.RunPerf.SliceEvery) and emits them as "engine.rounds" spans
+// under ctx's current span; with no tracer the run is bit-identical and
+// pays one context lookup.
 func runProgramObserved(ctx context.Context, g *graph.Graph, model radio.Model, seed uint64, fp faults.Profile, obs radio.Observer, program radio.Program) (*Result, error) {
 	tracer := &haltTracer{rounds: make([]uint64, g.N())}
-	rr, err := radio.Run(g, radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer, Faults: fp, Observer: obs}, program)
+	cfg := radio.Config{Model: model, Ctx: ctx, Seed: seed, Tracer: tracer, Faults: fp, Observer: obs}
+	tr := trace.FromContext(ctx)
+	if tr != nil && cfg.Perf == nil {
+		cfg.Perf = &radio.RunPerf{SliceEvery: EngineSliceRounds}
+	}
+	rr, err := radio.Run(g, cfg, program)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult(rr)
 	res.DecisionRound = tracer.rounds
+	if tr != nil {
+		emitEngineSpans(tr, trace.SpanFromContext(ctx).Context(), cfg.Perf)
+	}
 	return res, nil
+}
+
+// emitEngineSpans converts a run's sampled round slices into finished
+// spans parented under the caller's current span, anchoring the
+// loop-relative slice clocks to the scheduler's wall-clock loop start.
+func emitEngineSpans(tr *trace.Tracer, parent trace.SpanContext, perf *radio.RunPerf) {
+	base := perf.LoopStart
+	if base.IsZero() {
+		return // the scheduler loop never ran
+	}
+	for _, sl := range perf.Slices {
+		tr.Emit(parent, "engine.rounds",
+			base.Add(time.Duration(sl.StartNs)), base.Add(time.Duration(sl.EndNs)),
+			trace.A("firstRound", sl.FirstRound),
+			trace.A("lastRound", sl.LastRound),
+			trace.A("rounds", sl.Rounds))
+	}
 }
 
 // newResult converts a raw simulation result into an MIS result. Nodes the

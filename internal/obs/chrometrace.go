@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"radiomis/internal/radio"
+	"radiomis/internal/trace"
 )
 
 // ChromeTracer streams a run in the Chrome trace-event format (the JSON
@@ -51,6 +52,14 @@ func (c *ChromeTracer) emit(ev *chromeEvent) {
 	b, err := json.Marshal(ev)
 	if err != nil {
 		c.err = err
+		return
+	}
+	c.emitRaw(b)
+}
+
+// emitRaw appends one pre-marshaled trace event to the open array.
+func (c *ChromeTracer) emitRaw(b []byte) {
+	if c.err != nil {
 		return
 	}
 	if c.wrote {
@@ -113,6 +122,26 @@ func (c *ChromeTracer) ObserveHalt(id int, output int64, energy uint64, round ui
 		Scope: "t",
 		Args:  map[string]any{"output": output, "energy": energy},
 	})
+}
+
+// AppendSpans merges finished wall-clock spans from internal/trace into
+// the open trace-event array. Span events land on their own Chrome
+// "process" (trace.WallPid), separate from the engine's simulated-rounds
+// events on pid 0, so one file shows the whole story: the per-request
+// span tree (HTTP → job → harness trials → engine round slices) in wall
+// time alongside the per-node phase timeline in simulated rounds. Call it
+// any time before Close.
+func (c *ChromeTracer) AppendSpans(spans []*trace.Span) {
+	evs, err := trace.ChromeEvents(spans)
+	if err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	for _, b := range evs {
+		c.emitRaw(b)
+	}
 }
 
 // Close terminates the JSON array, flushes the buffer, and returns the

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/radio"
+	"radiomis/internal/trace"
+)
+
+// TestChromeTracerMergesSpans drives an observed engine run and a traced
+// wall-clock operation into one Chrome trace file and checks both stories
+// survive: engine phase events on pid 0 (ts in simulated rounds) and the
+// span tree on pid trace.WallPid (ts in µs), each span event carrying its
+// trace/span IDs.
+func TestChromeTracerMergesSpans(t *testing.T) {
+	g := graph.Star(3)
+	var buf bytes.Buffer
+	c := NewChromeTracer(&buf)
+	if _, err := radio.Run(g, radio.Config{Model: radio.ModelCD, Seed: 1, Observer: c}, pingPong); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.NewSeeded(16, 1)
+	ctx, root := tr.Start(context.Background(), "request")
+	_, child := tr.Start(ctx, "work")
+	child.End()
+	root.End()
+	c.AppendSpans(tr.Spans())
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []struct {
+		Name string         `json:"name"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("merged trace is not a valid JSON array: %v\n%s", err, buf.String())
+	}
+	var engine, wall int
+	for _, ev := range events {
+		switch ev.Pid {
+		case 0:
+			engine++
+		case trace.WallPid:
+			wall++
+			if _, ok := ev.Args["traceId"]; !ok {
+				t.Errorf("span event %q has no traceId arg", ev.Name)
+			}
+		default:
+			t.Errorf("event %q on unexpected pid %d", ev.Name, ev.Pid)
+		}
+	}
+	if engine == 0 {
+		t.Error("no engine phase events on pid 0")
+	}
+	if wall != 2 {
+		t.Errorf("got %d span events on pid %d, want 2", wall, trace.WallPid)
+	}
+}

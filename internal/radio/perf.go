@@ -63,10 +63,53 @@ type RunPerf struct {
 	// perfectly balanced run; 0 when timing never ran (zero shards or an
 	// immediately-failing run).
 	Imbalance float64
+
+	// SliceEvery, when > 0, samples the round loop into coarse RoundSlices:
+	// one slice per SliceEvery executed rounds. It is configuration, not
+	// output — set it before the run; reuse across runs preserves it. The
+	// sampling sits behind the same Config.Perf nil check as every other
+	// perf site, reads the clock once per slice boundary (never per node),
+	// and is how the tracing layer attributes engine wall time at
+	// round-slice granularity without touching the hot loop.
+	SliceEvery uint64
+	// Slices holds the sampled round slices of the run, in order. To stay
+	// bounded on very long runs the stride doubles once MaxSlices slices
+	// accumulate (adjacent slices are coalesced), so the whole run is
+	// always covered at the coarsest granularity that fits.
+	Slices []RoundSlice
+	// LoopStart is the wall-clock instant the scheduler loop began —
+	// the base the relative slice timestamps are measured from.
+	LoopStart time.Time
+
+	// sliceLeft counts down executed rounds to the next slice boundary.
+	sliceLeft uint64
+	// sliceStride is the live stride (≥ SliceEvery after coalescing).
+	sliceStride uint64
+	// cur is the slice being accumulated.
+	cur RoundSlice
+}
+
+// MaxSlices bounds len(RunPerf.Slices); beyond it the slice stride
+// doubles and adjacent slices merge.
+const MaxSlices = 256
+
+// RoundSlice is one sampled slice of the scheduler's round loop: Rounds
+// executed rounds spanning simulated rounds [FirstRound, LastRound],
+// whose wall-clock cost ran from StartNs to EndNs after RunPerf.LoopStart.
+// Slices are contiguous in executed rounds but not in simulated rounds
+// (the scheduler skips rounds where every node sleeps).
+type RoundSlice struct {
+	FirstRound uint64 // first simulated round in the slice
+	LastRound  uint64 // last simulated round in the slice
+	Rounds     uint64 // executed rounds in the slice
+	StartNs    int64  // wall-clock slice start, ns since LoopStart
+	EndNs      int64  // wall-clock slice end, ns since LoopStart
 }
 
 // reset prepares the RunPerf for one run on nShards shards, zeroing all
 // counters and resizing the per-shard slices (reusing capacity).
+// Configuration fields (SliceEvery) survive the reset, so a pooled
+// RunPerf keeps sampling across consecutive runs.
 func (p *RunPerf) reset(nShards int) {
 	busy, wait := p.ShardBusyNs, p.BarrierWaitNs
 	if cap(busy) < nShards {
@@ -76,11 +119,62 @@ func (p *RunPerf) reset(nShards int) {
 	busy, wait = busy[:nShards], wait[:nShards]
 	clear(busy)
 	clear(wait)
-	*p = RunPerf{Shards: nShards, ShardBusyNs: busy, BarrierWaitNs: wait}
+	*p = RunPerf{
+		Shards: nShards, ShardBusyNs: busy, BarrierWaitNs: wait,
+		SliceEvery:  p.SliceEvery,
+		Slices:      p.Slices[:0],
+		sliceStride: p.SliceEvery,
+		sliceLeft:   p.SliceEvery,
+	}
+}
+
+// sliceTick accounts one executed round at simulated round r; sealing a
+// full slice is the only clock read, so sampling costs one decrement and
+// branch per round. Callers gate on sliceStride != 0.
+func (p *RunPerf) sliceTick(r uint64) {
+	if p.cur.Rounds == 0 {
+		p.cur.FirstRound = r
+	}
+	p.cur.LastRound = r
+	p.cur.Rounds++
+	p.sliceLeft--
+	if p.sliceLeft == 0 {
+		p.sealSlice(time.Since(p.LoopStart).Nanoseconds())
+	}
+}
+
+// sealSlice closes the accumulating slice at endNs and opens the next
+// one. Once MaxSlices slices exist, adjacent pairs coalesce and the
+// stride doubles, bounding memory on arbitrarily long runs.
+func (p *RunPerf) sealSlice(endNs int64) {
+	p.cur.EndNs = endNs
+	p.Slices = append(p.Slices, p.cur)
+	p.cur = RoundSlice{StartNs: endNs}
+	if len(p.Slices) >= MaxSlices {
+		half := len(p.Slices) / 2
+		for i := 0; i < half; i++ {
+			a, b := p.Slices[2*i], p.Slices[2*i+1]
+			p.Slices[i] = RoundSlice{
+				FirstRound: a.FirstRound, LastRound: b.LastRound,
+				Rounds:  a.Rounds + b.Rounds,
+				StartNs: a.StartNs, EndNs: b.EndNs,
+			}
+		}
+		if len(p.Slices)%2 == 1 {
+			p.Slices[half] = p.Slices[len(p.Slices)-1]
+			half++
+		}
+		p.Slices = p.Slices[:half]
+		p.sliceStride *= 2
+	}
+	p.sliceLeft = p.sliceStride
 }
 
 // finish seals the run's derived quantities.
 func (p *RunPerf) finish(wall time.Duration) {
+	if p.cur.Rounds > 0 {
+		p.sealSlice(wall.Nanoseconds()) // trailing partial slice
+	}
 	p.WallNs = wall.Nanoseconds()
 	p.Rounds = p.FastRounds + p.FaultRounds
 	if secs := wall.Seconds(); secs > 0 {

@@ -1,0 +1,121 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+// busyProgram keeps every node awake for `rounds` rounds so the scheduler
+// executes a predictable number of round iterations.
+func busyProgram(rounds int) Program {
+	return func(env *Env) int64 {
+		for r := 0; r < rounds; r++ {
+			if env.Rand().Int63()&1 == 1 {
+				env.TransmitBit()
+			} else {
+				env.Listen()
+			}
+		}
+		return 0
+	}
+}
+
+func TestRunPerfSlicesCoverRun(t *testing.T) {
+	g := graph.GNP(128, 8.0/128, rng.New(5))
+	perf := &RunPerf{SliceEvery: 16}
+	if _, err := Run(g, Config{Model: ModelCD, Seed: 9, Perf: perf}, busyProgram(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Slices) == 0 {
+		t.Fatal("SliceEvery=16 produced no slices")
+	}
+	var covered uint64
+	prevEnd := int64(0)
+	prevLast := uint64(0)
+	for i, sl := range perf.Slices {
+		covered += sl.Rounds
+		if sl.Rounds == 0 {
+			t.Fatalf("slice %d is empty: %+v", i, sl)
+		}
+		if sl.StartNs != prevEnd {
+			t.Fatalf("slice %d starts at %dns, previous ended at %dns", i, sl.StartNs, prevEnd)
+		}
+		if sl.EndNs < sl.StartNs {
+			t.Fatalf("slice %d ends before it starts: %+v", i, sl)
+		}
+		if i > 0 && sl.FirstRound <= prevLast {
+			t.Fatalf("slice %d rounds overlap previous (first=%d prevLast=%d)", i, sl.FirstRound, prevLast)
+		}
+		if sl.LastRound < sl.FirstRound {
+			t.Fatalf("slice %d round range inverted: %+v", i, sl)
+		}
+		prevEnd, prevLast = sl.EndNs, sl.LastRound
+	}
+	if covered != perf.Rounds {
+		t.Fatalf("slices cover %d rounds, run executed %d", covered, perf.Rounds)
+	}
+	if perf.LoopStart.IsZero() {
+		t.Fatal("LoopStart not recorded")
+	}
+}
+
+func TestRunPerfSlicesBoundedByCoalescing(t *testing.T) {
+	g := graph.GNP(64, 6.0/64, rng.New(6))
+	// Stride 1 on a few-hundred-round run forces multiple coalescing
+	// passes; the slice list must stay under MaxSlices while still
+	// covering every executed round.
+	perf := &RunPerf{SliceEvery: 1}
+	if _, err := Run(g, Config{Model: ModelCD, Seed: 3, Perf: perf}, busyProgram(400)); err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Slices) >= MaxSlices {
+		t.Fatalf("got %d slices, want < MaxSlices=%d after coalescing", len(perf.Slices), MaxSlices)
+	}
+	var covered uint64
+	for _, sl := range perf.Slices {
+		covered += sl.Rounds
+	}
+	if covered != perf.Rounds {
+		t.Fatalf("slices cover %d rounds, run executed %d", covered, perf.Rounds)
+	}
+}
+
+func TestRunPerfSliceEverySurvivesReuse(t *testing.T) {
+	g := graph.GNP(64, 6.0/64, rng.New(7))
+	perf := &RunPerf{SliceEvery: 8}
+	for run := 0; run < 2; run++ {
+		if _, err := Run(g, Config{Model: ModelCD, Seed: uint64(run), Perf: perf}, busyProgram(50)); err != nil {
+			t.Fatal(err)
+		}
+		if len(perf.Slices) == 0 {
+			t.Fatalf("run %d: reused RunPerf stopped slicing (SliceEvery=%d)", run, perf.SliceEvery)
+		}
+		var covered uint64
+		for _, sl := range perf.Slices {
+			covered += sl.Rounds
+		}
+		if covered != perf.Rounds {
+			t.Fatalf("run %d: slices cover %d of %d rounds", run, covered, perf.Rounds)
+		}
+	}
+}
+
+func TestRunPerfSlicesAreOutOfBand(t *testing.T) {
+	g := graph.GNP(128, 8.0/128, rng.New(8))
+	base, err := Run(g, Config{Model: ModelCD, Seed: 11}, busyProgram(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, err := Run(g, Config{Model: ModelCD, Seed: 11, Perf: &RunPerf{SliceEvery: 4}}, busyProgram(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Outputs, sliced.Outputs) ||
+		!reflect.DeepEqual(base.Energy, sliced.Energy) ||
+		base.Rounds != sliced.Rounds {
+		t.Fatal("round-slice sampling changed simulation results")
+	}
+}

@@ -344,6 +344,7 @@ func (s *sched) bind(g *graph.Graph, csr *graph.CSR, cfg *Config, inj *faults.In
 func (s *sched) loop() error {
 	if s.perf != nil {
 		start := time.Now()
+		s.perf.LoopStart = start
 		defer func() { s.perf.finish(time.Since(start)) }()
 	}
 	for s.active > 0 {
@@ -374,6 +375,9 @@ func (s *sched) loop() error {
 		}
 		if err != nil {
 			return err
+		}
+		if s.perf != nil && s.perf.sliceStride != 0 {
+			s.perf.sliceTick(r)
 		}
 	}
 	return nil

@@ -142,10 +142,15 @@ func (r JobRequest) Key() string {
 // JobStatus is the wire representation of a job, returned by the submit,
 // status, and cancel endpoints.
 type JobStatus struct {
-	Schema      string     `json:"schema"`
-	ID          string     `json:"id"`
-	State       string     `json:"state"`
-	Cached      bool       `json:"cached"`
+	Schema string `json:"schema"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	// TraceID is the W3C trace the job's spans belong to — the inbound
+	// request's traceparent trace when one was supplied, else a fresh one.
+	// Present only when the daemon runs with tracing enabled; grep it in
+	// daemon logs or look it up under /debug/traces.
+	TraceID     string     `json:"traceId,omitempty"`
 	Request     JobRequest `json:"request"`
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -207,19 +212,24 @@ func AlgorithmCatalog() AlgorithmList {
 
 // Event shapes streamed by GET /v1/jobs/{id}/events. Every line is one
 // self-contained JSON object with an "ev" discriminator ("state",
-// "progress", or "perf"), mirroring the internal/obs JSONL convention.
+// "progress", "perf", or "heartbeat"), mirroring the internal/obs JSONL
+// convention. When the daemon traces, every per-job event also carries
+// the job's traceId, so a single grep correlates the stream with logs
+// and spans.
 type stateEvent struct {
-	Ev    string `json:"ev"`
-	State string `json:"state"`
-	Error string `json:"error,omitempty"`
+	Ev      string `json:"ev"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 type progressEvent struct {
-	Ev    string  `json:"ev"`
-	Stage string  `json:"stage"`
-	Done  int     `json:"done"`
-	Total int     `json:"total"`
-	X     float64 `json:"x,omitempty"`
+	Ev      string  `json:"ev"`
+	Stage   string  `json:"stage"`
+	Done    int     `json:"done"`
+	Total   int     `json:"total"`
+	X       float64 `json:"x,omitempty"`
+	TraceID string  `json:"traceId,omitempty"`
 }
 
 // perfEvent is emitted once per executed job, immediately before its
@@ -230,6 +240,16 @@ type perfEvent struct {
 	Ev          string  `json:"ev"`
 	QueueWaitMs float64 `json:"queueWaitMs"`
 	RunMs       float64 `json:"runMs"`
+	TraceID     string  `json:"traceId,omitempty"`
+}
+
+// heartbeatEvent is a keep-alive line written to idle event streams every
+// Options.EventHeartbeat, so proxies and clients can distinguish a
+// long-running job from a dead connection. It is still one self-contained
+// JSON object, so line-oriented consumers parse streams with heartbeats
+// unchanged.
+type heartbeatEvent struct {
+	Ev string `json:"ev"` // always "heartbeat"
 }
 
 // durationMs converts a duration to fractional milliseconds for the wire.

@@ -1,0 +1,49 @@
+package server
+
+import "runtime/debug"
+
+// BuildInfo identifies the running binary: the module version stamped by
+// `go install`, the VCS revision and commit time when built from a
+// checkout, and the Go toolchain. All fields are best-effort — a plain
+// `go build` of a dirty tree may only know the Go version.
+type BuildInfo struct {
+	Version   string `json:"version,omitempty"`   // module version ("(devel)" for tree builds)
+	Revision  string `json:"revision,omitempty"`  // VCS commit hash
+	Time      string `json:"time,omitempty"`      // VCS commit time, RFC 3339
+	Modified  bool   `json:"modified,omitempty"`  // built from a dirty tree
+	GoVersion string `json:"goVersion,omitempty"` // toolchain that built the binary
+}
+
+// ReadBuildInfo extracts the binary's build identity from the metadata the
+// Go linker embeds (runtime/debug.ReadBuildInfo). Binaries built without
+// module support return a zero value.
+func ReadBuildInfo() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{}
+	}
+	out := BuildInfo{Version: bi.Main.Version, GoVersion: bi.GoVersion}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// Health is the response of GET /healthz: liveness plus enough build
+// identity to tell which daemon answered.
+type Health struct {
+	Status string    `json:"status"`
+	Schema string    `json:"schema"`
+	Build  BuildInfo `json:"build"`
+}
+
+func healthResponse() Health {
+	return Health{Status: "ok", Schema: SchemaVersion, Build: ReadBuildInfo()}
+}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 
 	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
 )
 
 // HandlerOption customizes NewHandler.
@@ -34,11 +37,19 @@ func WithPprof() HandlerOption {
 //	GET    /v1/jobs/{id}        job status and, when done, its result
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream progress as JSON lines (follows until
-//	                            the job is terminal)
+//	                            the job is terminal; idle streams carry
+//	                            periodic {"ev":"heartbeat"} keep-alives)
 //	GET    /v1/algorithms       discovery: registered algorithms + param knobs
-//	GET    /healthz             liveness probe
+//	GET    /healthz             liveness probe + build information
 //	GET    /metrics             Prometheus text exposition (format 0.0.4)
+//	GET    /debug/traces        recent spans (json; ?format=chrome|otlp)
 //	GET    /debug/pprof/...     Go profiling endpoints (only with WithPprof)
+//
+// When the manager has a tracer, every /v1 request runs under a root span:
+// an inbound W3C traceparent header continues the caller's trace, the
+// response echoes a traceparent identifying the request span, and job
+// submissions hang their whole span tree (queue wait, execution, harness
+// trials, engine round slices) beneath it.
 func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 	var cfg handlerConfig
 	for _, o := range opts {
@@ -74,10 +85,13 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, AlgorithmCatalog())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "schema": SchemaVersion})
+		writeJSON(w, http.StatusOK, healthResponse())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(m, w)
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		handleTraces(m, w, r)
 	})
 	if cfg.pprof {
 		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} itself,
@@ -88,7 +102,62 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return traceMiddleware(m, mux)
+}
+
+// traceMiddleware wraps the API mux with per-request observability: a
+// root span per /v1 request (continuing an inbound W3C traceparent when
+// present, echoed back on the response) and one structured access-log
+// record per request. Probe and debug endpoints (/healthz, /metrics,
+// /debug/...) stay untraced and unlogged — they are scraped continuously
+// and would drown both the span ring and the log. With no tracer the
+// middleware only logs.
+func traceMiddleware(m *Manager, next http.Handler) http.Handler {
+	tr := m.opts.Tracer
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := r.Context()
+		var sp *trace.Span
+		if tr != nil {
+			parent, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+			sp = tr.StartSpan(parent, "http.request", start,
+				trace.A("method", r.Method), trace.A("path", r.URL.Path))
+			ctx = trace.WithTracer(ctx, tr)
+			ctx = trace.ContextWithSpan(ctx, sp)
+			w.Header().Set(trace.TraceparentHeader, sp.Context().Traceparent())
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(sw, r)
+		sp.SetAttr("status", sw.status)
+		sp.End()
+		m.opts.Logger.InfoContext(ctx, "http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "durationMs", durationMs(time.Since(start)))
+	})
+}
+
+// statusWriter records the response status for the access log and span.
+// It forwards Flush so the event-stream handler keeps streaming through
+// the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
@@ -99,7 +168,7 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	job, created, err := m.Submit(req)
+	job, created, err := m.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -129,9 +198,20 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	heartbeatLine, _ := json.Marshal(heartbeatEvent{Ev: "heartbeat"})
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Heartbeats keep idle streams distinguishable from dead connections:
+	// every EventHeartbeat a {"ev":"heartbeat"} line goes out whether or
+	// not job events arrived in between (each line is self-contained JSON,
+	// so consumers are unaffected).
+	var heartbeat <-chan time.Time
+	if m.opts.EventHeartbeat > 0 {
+		ticker := time.NewTicker(m.opts.EventHeartbeat)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
 	next := 0
 	for {
 		lines, updated, terminal := j.Events(next)
@@ -148,6 +228,12 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-updated:
+		case <-heartbeat:
+			w.Write(heartbeatLine)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}
@@ -157,6 +243,80 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 func handleMetrics(m *Manager, w http.ResponseWriter) {
 	w.Header().Set("Content-Type", telemetry.ContentType)
 	m.WriteMetrics(w)
+}
+
+// handleTraces serves the tracer's recent-span ring: by default a JSON
+// document of span records (newest last), with ?format=chrome for a
+// chrome://tracing / Perfetto file and ?format=otlp for OTLP/JSON.
+func handleTraces(m *Manager, w http.ResponseWriter, r *http.Request) {
+	tr := m.opts.Tracer
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (start radiomisd without -trace-off)")
+		return
+	}
+	spans := tr.Spans()
+	switch format := r.URL.Query().Get("format"); format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, spans)
+	case "otlp":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteOTLP(w, "radiomisd", spans)
+	case "", "json":
+		writeJSON(w, http.StatusOK, traceList(tr, spans))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, chrome, or otlp)", format)
+	}
+}
+
+// TraceList is the default response of GET /debug/traces.
+type TraceList struct {
+	Schema string `json:"schema"`
+	// Ended is the total number of spans finished since startup; Capacity
+	// is the ring size. Ended − len(Spans) spans have been evicted.
+	Ended    uint64      `json:"ended"`
+	Capacity int         `json:"capacity"`
+	Spans    []TraceSpan `json:"spans"`
+}
+
+// TraceSpan is one retained span in wire form.
+type TraceSpan struct {
+	TraceID    string         `json:"traceId"`
+	SpanID     string         `json:"spanId"`
+	ParentID   string         `json:"parentSpanId,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMs float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+func traceList(tr *trace.Tracer, spans []*trace.Span) TraceList {
+	out := TraceList{
+		Schema:   SchemaVersion,
+		Ended:    tr.Ended(),
+		Capacity: tr.Capacity(),
+		Spans:    make([]TraceSpan, 0, len(spans)),
+	}
+	for _, sp := range spans {
+		ts := TraceSpan{
+			TraceID:    sp.Trace.String(),
+			SpanID:     sp.ID.String(),
+			Name:       sp.Name,
+			Start:      sp.StartTime,
+			DurationMs: durationMs(sp.Duration()),
+		}
+		if !sp.Parent.IsZero() {
+			ts.ParentID = sp.Parent.String()
+		}
+		if len(sp.Attrs) > 0 {
+			ts.Attrs = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ts.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Spans = append(out.Spans, ts)
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

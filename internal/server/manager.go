@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -13,11 +14,13 @@ import (
 	"radiomis/internal/faults"
 	"radiomis/internal/graph"
 	"radiomis/internal/harness"
+	"radiomis/internal/logx"
 	"radiomis/internal/mis"
 	"radiomis/internal/obs"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
 	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
 )
 
 // Sentinel errors surfaced by Submit; the HTTP layer maps them to status
@@ -38,6 +41,20 @@ type Options struct {
 	// CacheSize is the LRU result-cache capacity (default 64 entries;
 	// negative disables caching).
 	CacheSize int
+	// Tracer, when non-nil, turns on distributed tracing: every job grows
+	// a span tree (job → queue-wait/cache/run → harness trials → engine
+	// round slices) parented under the submitting request's span, statuses
+	// and event lines carry the traceId, and /debug/traces serves the
+	// recent-span ring. nil disables tracing entirely; results are
+	// bit-identical either way.
+	Tracer *trace.Tracer
+	// Logger receives the manager's structured job-lifecycle records;
+	// records carry jobId and, when tracing, traceId/spanId. nil discards.
+	Logger *slog.Logger
+	// EventHeartbeat is how often an idle GET /v1/jobs/{id}/events stream
+	// writes a {"ev":"heartbeat"} keep-alive line (default 15s; negative
+	// disables heartbeats).
+	EventHeartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +66,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 64
+	}
+	if o.Logger == nil {
+		o.Logger = logx.Discard()
+	}
+	if o.EventHeartbeat == 0 {
+		o.EventHeartbeat = 15 * time.Second
 	}
 	return o
 }
@@ -164,11 +187,23 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// span is the job's umbrella span (submit → terminal state), parented
+	// under the submitting request's span; nil when the manager has no
+	// tracer. traceID caches its trace as lowercase hex for statuses,
+	// event lines, and log records. Both are written once at creation,
+	// before the job is published, and read-only after — no lock needed.
+	span    *trace.Span
+	traceID string
+
 	// reg is the job's private telemetry registry, installed on the
 	// execution context so the harness feeds per-trial timings into it.
 	// Written by run() before execution and read by finish() after, on the
 	// same worker goroutine — no lock needed.
 	reg *telemetry.Registry
+
+	// runSpan covers the execution phase only; like reg it is touched only
+	// by the worker goroutine that runs the job.
+	runSpan *trace.Span
 
 	mu              sync.Mutex // guards the mutable fields below
 	state           string
@@ -198,6 +233,7 @@ func (j *Job) Status() *JobStatus {
 		ID:          j.id,
 		State:       j.state,
 		Cached:      j.cached,
+		TraceID:     j.traceID,
 		Request:     j.req,
 		SubmittedAt: j.submittedAt,
 		Error:       j.errMsg,
@@ -268,29 +304,48 @@ func (j *Job) setStateLocked(state, errMsg string) {
 	case StateDone, StateFailed, StateCanceled:
 		j.finishedAt = now
 	}
-	j.appendEventLocked(stateEvent{Ev: "state", State: state, Error: errMsg})
+	j.appendEventLocked(stateEvent{Ev: "state", State: state, Error: errMsg, TraceID: j.traceID})
 	if isTerminal(state) {
 		close(j.done)
 	}
 }
 
+// logArgs returns the job's standing log attributes (jobId, and traceId
+// when the job is traced) followed by extra.
+func (j *Job) logArgs(extra ...any) []any {
+	args := make([]any, 0, 4+len(extra))
+	args = append(args, "jobId", j.id)
+	if j.traceID != "" {
+		args = append(args, "traceId", j.traceID)
+	}
+	return append(args, extra...)
+}
+
 // newJobLocked allocates a job in the queued state; callers hold m.mu.
-func (m *Manager) newJobLocked(req JobRequest, key string) *Job {
+// With tracing on, the job's umbrella span starts here, parented under
+// whatever span rides the submitting request's context — so an inbound
+// traceparent header becomes the job's trace ID.
+func (m *Manager) newJobLocked(ctx context.Context, req JobRequest, key string) *Job {
 	m.seq++
-	ctx, cancel := context.WithCancel(m.rootCtx)
+	jctx, cancel := context.WithCancel(m.rootCtx)
 	j := &Job{
 		id:          fmt.Sprintf("j%06d", m.seq),
 		key:         key,
 		req:         req,
 		submittedAt: time.Now(),
-		ctx:         ctx,
+		ctx:         jctx,
 		cancel:      cancel,
 		state:       StateQueued,
 		notify:      make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	if tr := m.opts.Tracer; tr != nil {
+		j.span = tr.StartSpan(trace.SpanFromContext(ctx).Context(), "job", j.submittedAt,
+			trace.A("jobId", j.id), trace.A("kind", req.Kind))
+		j.traceID = j.span.Trace.String()
+	}
 	j.mu.Lock()
-	j.appendEventLocked(stateEvent{Ev: "state", State: StateQueued})
+	j.appendEventLocked(stateEvent{Ev: "state", State: StateQueued, TraceID: j.traceID})
 	j.mu.Unlock()
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -301,7 +356,10 @@ func (m *Manager) newJobLocked(req JobRequest, key string) *Job {
 // from the result cache (a new job born in the done state with Cached set)
 // or coalesced onto the identical in-flight job (single-flight; created is
 // false). ErrQueueFull signals backpressure: the caller should retry later.
-func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
+// ctx is the submitting request's context: a span riding it (the HTTP
+// layer's per-request root) becomes the parent of the job's span tree; the
+// job's own lifetime is not bound by ctx.
+func (m *Manager) Submit(ctx context.Context, req JobRequest) (job *Job, created bool, err error) {
 	if err := req.Normalize(); err != nil {
 		return nil, false, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
@@ -314,24 +372,35 @@ func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
 	}
 	m.met.submitted.Inc()
 
+	lookup := time.Now()
 	if res, age, ok := m.cache.Get(key); ok {
 		m.met.cacheHits.Inc()
 		m.met.cacheAge.ObserveDuration(age)
-		j := m.newJobLocked(req, key)
+		j := m.newJobLocked(ctx, req, key)
+		if tr := m.opts.Tracer; tr != nil {
+			tr.Emit(j.span.Context(), "job.cache", lookup, time.Now(), trace.A("hit", true))
+			j.span.SetAttr("cached", true)
+		}
 		j.mu.Lock()
 		j.cached = true
 		j.result = res
 		j.startedAt = time.Now()
 		j.setStateLocked(StateDone, "")
 		j.mu.Unlock()
+		j.span.End()
+		m.opts.Logger.Info("job served from cache", j.logArgs("kind", req.Kind)...)
 		return j, true, nil
 	}
 	if j, ok := m.inflight[key]; ok {
 		m.met.dedupHits.Inc()
+		m.opts.Logger.Info("submission coalesced onto in-flight job", j.logArgs()...)
 		return j, false, nil
 	}
 
-	j := m.newJobLocked(req, key)
+	j := m.newJobLocked(ctx, req, key)
+	if tr := m.opts.Tracer; tr != nil {
+		tr.Emit(j.span.Context(), "job.cache", lookup, time.Now(), trace.A("hit", false))
+	}
 	select {
 	case m.queue <- j:
 	default:
@@ -340,9 +409,13 @@ func (m *Manager) Submit(req JobRequest) (job *Job, created bool, err error) {
 		delete(m.jobs, j.id)
 		m.order = m.order[:len(m.order)-1]
 		j.cancel()
+		j.span.SetAttr("error", "queue full")
+		j.span.End()
+		m.opts.Logger.Warn("job rejected: queue full", "kind", req.Kind)
 		return nil, false, ErrQueueFull
 	}
 	m.inflight[key] = j
+	m.opts.Logger.Info("job queued", j.logArgs("kind", req.Kind)...)
 	return j, true, nil
 }
 
@@ -387,6 +460,9 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		j.setStateLocked(StateCanceled, "canceled before start")
 		delete(m.inflight, j.key)
 		m.met.canceled.Inc()
+		j.span.SetAttr("canceled", true)
+		j.span.End()
+		m.opts.Logger.Info("job canceled before start", j.logArgs()...)
 	case StateRunning:
 		j.cancelRequested = true
 	}
@@ -484,9 +560,22 @@ func (m *Manager) run(j *Job) {
 	// finish() folds it into the daemon-wide registry behind GET /metrics.
 	j.reg = telemetry.New()
 	ctx := obs.ContextWithProgress(j.ctx, func(ev obs.ProgressEvent) {
-		j.appendEvent(progressEvent{Ev: "progress", Stage: ev.Stage, Done: ev.Done, Total: ev.Total, X: ev.X})
+		j.appendEvent(progressEvent{Ev: "progress", Stage: ev.Stage, Done: ev.Done, Total: ev.Total, X: ev.X, TraceID: j.traceID})
 	})
 	ctx = telemetry.WithRegistry(ctx, j.reg)
+	if tr := m.opts.Tracer; tr != nil {
+		// The queue wait is over, so it is a span whose bounds are already
+		// known; the execution phase starts now and stays open on the
+		// context, parenting the harness and engine spans below it.
+		tr.Emit(j.span.Context(), "job.queue", j.submittedAt, j.startedAt)
+		j.runSpan = tr.StartSpan(j.span.Context(), "job.run", j.startedAt, trace.A("jobId", j.id))
+		ctx = trace.WithTracer(ctx, tr)
+		ctx = trace.ContextWithSpan(ctx, j.runSpan)
+	}
+	// The context call sites a span-carrying ctx: the logx handler stamps
+	// traceId/spanId itself, so only the job fields ride along explicitly.
+	m.opts.Logger.InfoContext(ctx, "job started",
+		"jobId", j.id, "kind", j.req.Kind, "queueWaitMs", durationMs(queueWait))
 	res, err := execute(ctx, j.req)
 	m.finish(j, res, err)
 }
@@ -514,6 +603,7 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 			Ev:          "perf",
 			QueueWaitMs: durationMs(j.startedAt.Sub(j.submittedAt)),
 			RunMs:       durationMs(runDur),
+			TraceID:     j.traceID,
 		})
 	}
 	switch {
@@ -529,8 +619,20 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		m.met.failed.Inc()
 		j.setStateLocked(StateFailed, err.Error())
 	}
+	state, errMsg := j.state, j.errMsg
 	j.mu.Unlock()
 	m.mu.Unlock()
+	if err != nil {
+		j.runSpan.SetAttr("error", err.Error())
+	}
+	j.runSpan.End()
+	j.span.SetAttr("state", state)
+	j.span.End()
+	if errMsg != "" {
+		m.opts.Logger.Warn("job finished", j.logArgs("state", state, "error", errMsg)...)
+	} else {
+		m.opts.Logger.Info("job finished", j.logArgs("state", state)...)
+	}
 	j.cancel() // release the job context's resources
 }
 

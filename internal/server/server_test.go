@@ -552,7 +552,7 @@ func TestShutdownDrainsQueuedJobs(t *testing.T) {
 	m := New(Options{Workers: 1, QueueDepth: 4})
 	var ids []string
 	for seed := uint64(1); seed <= 3; seed++ {
-		j, _, err := m.Submit(JobRequest{Kind: KindSolve, Algorithm: "cd", N: 24, Seed: seed})
+		j, _, err := m.Submit(context.Background(), JobRequest{Kind: KindSolve, Algorithm: "cd", N: 24, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -572,14 +572,14 @@ func TestShutdownDrainsQueuedJobs(t *testing.T) {
 			t.Errorf("job %s after drain: state %q (error %q)", id, st.State, st.Error)
 		}
 	}
-	if _, _, err := m.Submit(JobRequest{Kind: KindSolve, Algorithm: "cd", N: 8, Seed: 9}); err != ErrDraining {
+	if _, _, err := m.Submit(context.Background(), JobRequest{Kind: KindSolve, Algorithm: "cd", N: 8, Seed: 9}); err != ErrDraining {
 		t.Errorf("submit after shutdown: err = %v, want ErrDraining", err)
 	}
 }
 
 func TestShutdownDeadlineAbortsRunningJob(t *testing.T) {
 	m := New(Options{Workers: 1})
-	j, _, err := m.Submit(JobRequest{Kind: KindExperiment, Experiment: "E5", Seed: 8})
+	j, _, err := m.Submit(context.Background(), JobRequest{Kind: KindExperiment, Experiment: "E5", Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

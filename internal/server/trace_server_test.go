@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"radiomis/internal/trace"
+)
+
+// TestTracedJobEndToEnd is the tracing acceptance test: submit a job with
+// an inbound traceparent to a tracer-enabled daemon and verify one
+// connected trace comes out the other side — HTTP root continuing the
+// caller's trace ID, job/queue/run spans beneath it, harness batch and
+// trial spans beneath those, and sampled engine round-slice spans at the
+// leaves — and that the Chrome export of /debug/traces carries them all.
+func TestTracedJobEndToEnd(t *testing.T) {
+	tr := trace.NewSeeded(4096, 42)
+	_, ts := newTestServer(t, Options{Workers: 1, Tracer: tr})
+
+	const inboundTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	traceparent := "00-" + inboundTrace + "-00f067aa0ba902b7-01"
+
+	body, err := json.Marshal(JobRequest{Kind: KindSolve, Algorithm: "cd", N: 48, Trials: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(trace.TraceparentHeader, traceparent)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+
+	// The response echoes a traceparent continuing the inbound trace.
+	echoed := resp.Header.Get(trace.TraceparentHeader)
+	if !strings.Contains(echoed, inboundTrace) {
+		t.Fatalf("response traceparent %q does not continue inbound trace %s", echoed, inboundTrace)
+	}
+
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != inboundTrace {
+		t.Fatalf("job traceId = %q, want inbound trace %s", st.TraceID, inboundTrace)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+
+	// Reconstruct the span tree: every expected layer must be present, on
+	// the inbound trace, and connected (each span's parent is another
+	// recorded span of the same trace, up to the HTTP root).
+	spans := tr.Spans()
+	byID := make(map[trace.SpanID]*trace.Span)
+	names := make(map[string]int)
+	for _, sp := range spans {
+		if sp.Trace.String() != inboundTrace {
+			continue
+		}
+		byID[sp.ID] = sp
+		names[sp.Name]++
+	}
+	for _, want := range []string{"http.request", "job", "job.cache", "job.queue", "job.run", "harness.repeat", "harness.trial", "engine.rounds"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span on the job's trace (have %v)", want, names)
+		}
+	}
+	if names["harness.trial"] != 2 {
+		t.Errorf("got %d harness.trial spans, want 2", names["harness.trial"])
+	}
+	for _, sp := range byID {
+		if sp.Name == "http.request" {
+			continue // root: parented under the caller's (unrecorded) span
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Errorf("span %q parent %s is not a recorded span of the trace", sp.Name, sp.Parent)
+			continue
+		}
+		if parent.Trace != sp.Trace {
+			t.Errorf("span %q crosses traces", sp.Name)
+		}
+	}
+	// Walk an engine.rounds leaf to the root to prove the chain connects.
+	depth := 0
+	for _, sp := range byID {
+		if sp.Name != "engine.rounds" {
+			continue
+		}
+		hops := 0
+		for cur := sp; cur != nil && hops < 16; hops++ {
+			if cur.Name == "http.request" {
+				depth = hops
+				break
+			}
+			cur = byID[cur.Parent]
+		}
+		break
+	}
+	if depth < 4 {
+		t.Errorf("engine.rounds → http.request chain has %d hops, want ≥ 4 (engine→trial→batch→run→job→root)", depth)
+	}
+
+	// The Chrome export of /debug/traces must contain the span tree.
+	cresp, err := http.Get(ts.URL + "/debug/traces?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var events []struct {
+		Name string         `json:"name"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Args["traceId"] == inboundTrace {
+			seen[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"http.request", "job.run", "harness.trial", "engine.rounds"} {
+		if !seen[want] {
+			t.Errorf("chrome export missing %q event for the job trace", want)
+		}
+	}
+}
+
+// TestUntracedRequestsGetFreshRoots checks that without an inbound
+// traceparent the daemon mints a root trace of its own and reports it.
+func TestUntracedRequestsGetFreshRoots(t *testing.T) {
+	tr := trace.NewSeeded(256, 7)
+	_, ts := newTestServer(t, Options{Workers: 1, Tracer: tr})
+	st, resp := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 16, Seed: 3})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if len(st.TraceID) != 32 {
+		t.Fatalf("job traceId = %q, want a 32-hex-digit trace ID", st.TraceID)
+	}
+	waitTerminal(t, ts, st.ID)
+}
+
+// TestEventStreamCarriesTraceID checks that a traced job's event lines
+// carry its traceId.
+func TestEventStreamCarriesTraceID(t *testing.T) {
+	tr := trace.NewSeeded(256, 9)
+	_, ts := newTestServer(t, Options{Workers: 1, Tracer: tr})
+	st, _ := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 16, Seed: 4})
+	waitTerminal(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		var ev struct {
+			Ev      string `json:"ev"`
+			TraceID string `json:"traceId"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.TraceID != st.TraceID {
+			t.Errorf("event %q traceId = %q, want %q", ev.Ev, ev.TraceID, st.TraceID)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no event lines")
+	}
+}
+
+// TestEventStreamHeartbeat checks that an idle event stream emits
+// {"ev":"heartbeat"} keep-alive lines between real events.
+func TestEventStreamHeartbeat(t *testing.T) {
+	// One worker pinned by a long job keeps the probe job queued — its
+	// event stream stays open and idle, so heartbeats must flow.
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, EventHeartbeat: 30 * time.Millisecond})
+	long, _ := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 256, Trials: 50, Seed: 1})
+	queued, _ := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 8, Seed: 2})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	heartbeats := 0
+	for sc.Scan() {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.Ev == "heartbeat" {
+			heartbeats++
+			break // seen one while queued behind the long job: done
+		}
+	}
+	if heartbeats == 0 {
+		t.Fatal("idle event stream produced no heartbeat lines")
+	}
+	// Unblock the long job so Cleanup's drain isn't slow.
+	http.DefaultClient.Do(mustRequest(t, "DELETE", ts.URL+"/v1/jobs/"+long.ID))
+	http.DefaultClient.Do(mustRequest(t, "DELETE", ts.URL+"/v1/jobs/"+queued.ID))
+}
+
+func mustRequest(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestDebugTracesEndpoint checks the /debug/traces formats: the default
+// JSON list, the chrome and otlp exports, and 404 when tracing is off.
+func TestDebugTracesEndpoint(t *testing.T) {
+	tr := trace.NewSeeded(256, 11)
+	_, ts := newTestServer(t, Options{Workers: 1, Tracer: tr})
+	st, _ := submit(t, ts, JobRequest{Kind: KindSolve, Algorithm: "cd", N: 16, Seed: 5})
+	waitTerminal(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Ended == 0 || len(list.Spans) == 0 {
+		t.Fatalf("trace list empty: ended=%d spans=%d", list.Ended, len(list.Spans))
+	}
+	found := false
+	for _, sp := range list.Spans {
+		if sp.TraceID == st.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace list has no span of job trace %s", st.TraceID)
+	}
+
+	oresp, err := http.Get(ts.URL + "/debug/traces?format=otlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oresp.Body.Close()
+	var otlp map[string]any
+	if err := json.NewDecoder(oresp.Body).Decode(&otlp); err != nil {
+		t.Fatalf("otlp export is not JSON: %v", err)
+	}
+	if _, ok := otlp["resourceSpans"]; !ok {
+		t.Error("otlp export has no resourceSpans")
+	}
+
+	bresp, err := http.Get(ts.URL + "/debug/traces?format=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format: status %d, want 400", bresp.StatusCode)
+	}
+
+	_, off := newTestServer(t, Options{Workers: 1})
+	nresp, err := http.Get(off.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced daemon /debug/traces: status %d, want 404", nresp.StatusCode)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export (the JSON-array flavor understood by
+// chrome://tracing and https://ui.perfetto.dev). Spans become "X"
+// (complete) events with microsecond timestamps relative to the earliest
+// span start, one thread track (tid) per trace so concurrent traces
+// stack as separate lanes.
+//
+// Wall-clock spans live on pid WallPid. The engine-side obs.ChromeTracer
+// emits its per-round phase events on pid 0 with ts measured in *rounds*,
+// so when the two streams are merged into one file (see
+// obs.ChromeTracer.AppendSpans) the viewer shows them as two process
+// groups on one timeline: simulated time above, wall time below.
+
+// WallPid is the Chrome trace "process" wall-clock spans are emitted on,
+// distinguishing them from the engine's simulated-rounds events (pid 0).
+const WallPid = 1
+
+// chromeSpanEvent mirrors the trace-event JSON schema (a local copy so
+// the package stays dependency-free).
+type chromeSpanEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeEpoch returns the reference instant span timestamps are measured
+// from: the earliest start among the spans (zero time when empty).
+func ChromeEpoch(spans []*Span) time.Time {
+	var epoch time.Time
+	for _, sp := range spans {
+		if epoch.IsZero() || sp.StartTime.Before(epoch) {
+			epoch = sp.StartTime
+		}
+	}
+	return epoch
+}
+
+// chromeEvent converts one finished span, assigning tids per trace ID in
+// first-seen order via tids.
+func chromeEvent(sp *Span, epoch time.Time, tids map[TraceID]int) *chromeSpanEvent {
+	tid, ok := tids[sp.Trace]
+	if !ok {
+		tid = len(tids) + 1
+		tids[sp.Trace] = tid
+	}
+	args := map[string]any{
+		"traceId": sp.Trace.String(),
+		"spanId":  sp.ID.String(),
+	}
+	if !sp.Parent.IsZero() {
+		args["parentSpanId"] = sp.Parent.String()
+	}
+	for _, a := range sp.Attrs {
+		args[a.Key] = a.Value
+	}
+	dur := sp.Duration().Microseconds()
+	if dur < 1 {
+		dur = 1 // zero-width events vanish in the viewer
+	}
+	return &chromeSpanEvent{
+		Name:  sp.Name,
+		Phase: "X",
+		Ts:    sp.StartTime.Sub(epoch).Microseconds(),
+		Dur:   dur,
+		Pid:   WallPid,
+		Tid:   tid,
+		Args:  args,
+	}
+}
+
+// ChromeEvents renders each span as one marshaled Chrome trace event,
+// ready to splice into an existing trace-event array — the bridge
+// obs.ChromeTracer.AppendSpans uses to merge wall-clock spans into an
+// engine phase-event file.
+func ChromeEvents(spans []*Span) ([]json.RawMessage, error) {
+	epoch := ChromeEpoch(spans)
+	tids := make(map[TraceID]int)
+	out := make([]json.RawMessage, 0, len(spans))
+	for _, sp := range spans {
+		b, err := json.Marshal(chromeEvent(sp, epoch, tids))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// WriteChrome writes the spans as a self-contained Chrome trace-event
+// JSON array.
+func WriteChrome(w io.Writer, spans []*Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("["); err != nil {
+		return err
+	}
+	epoch := ChromeEpoch(spans)
+	tids := make(map[TraceID]int)
+	for i, sp := range spans {
+		ev := chromeEvent(sp, epoch, tids)
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := "\n"
+		if i > 0 {
+			sep = ",\n"
+		}
+		if _, err := bw.WriteString(sep); err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// exportFixture builds a two-span trace with attrs and an event.
+func exportFixture() (*Tracer, []*Span) {
+	tr := NewSeeded(8, 11)
+	base := time.Unix(1000, 0)
+	root := tr.StartSpan(SpanContext{}, "http POST /v1/jobs", base, A("method", "POST"))
+	child := tr.StartSpan(root.Context(), "job.run", base.Add(time.Millisecond), A("jobId", "j000001"), A("trials", 4))
+	child.Events = append(child.Events, Event{Name: "cache.miss", Time: base.Add(2 * time.Millisecond)})
+	child.EndAt(base.Add(90 * time.Millisecond))
+	root.EndAt(base.Add(100 * time.Millisecond))
+	return tr, tr.Spans()
+}
+
+func TestWriteChrome(t *testing.T) {
+	_, spans := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	byName := map[string]map[string]any{}
+	for _, ev := range events {
+		byName[ev["name"].(string)] = ev
+		if ev["ph"] != "X" {
+			t.Fatalf("event %v has phase %v, want X", ev["name"], ev["ph"])
+		}
+		if int(ev["pid"].(float64)) != WallPid {
+			t.Fatalf("event %v on pid %v, want %d", ev["name"], ev["pid"], WallPid)
+		}
+	}
+	child := byName["job.run"]
+	if child == nil {
+		t.Fatalf("missing job.run event in %v", byName)
+	}
+	// child starts 1ms after the epoch (= root start), lasts 89ms.
+	if ts := int64(child["ts"].(float64)); ts != 1000 {
+		t.Fatalf("child ts = %d µs, want 1000", ts)
+	}
+	if dur := int64(child["dur"].(float64)); dur != 89000 {
+		t.Fatalf("child dur = %d µs, want 89000", dur)
+	}
+	args := child["args"].(map[string]any)
+	if args["jobId"] != "j000001" || args["parentSpanId"] == nil || args["traceId"] == nil {
+		t.Fatalf("child args missing fields: %v", args)
+	}
+	// Same trace → same tid lane.
+	if byName["http POST /v1/jobs"]["tid"] != child["tid"] {
+		t.Fatal("spans of one trace landed on different tids")
+	}
+}
+
+func TestWriteOTLP(t *testing.T) {
+	_, spans := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "radiomisd", spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID           string `json:"traceId"`
+					SpanID            string `json:"spanId"`
+					ParentSpanID      string `json:"parentSpanId"`
+					Name              string `json:"name"`
+					Kind              int    `json:"kind"`
+					StartTimeUnixNano string `json:"startTimeUnixNano"`
+					EndTimeUnixNano   string `json:"endTimeUnixNano"`
+					Events            []struct {
+						Name string `json:"name"`
+					} `json:"events"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("OTLP output malformed: %v\n%s", err, buf.String())
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("unexpected document shape: %s", buf.String())
+	}
+	if got := doc.ResourceSpans[0].Resource.Attributes[0]; got.Key != "service.name" || got.Value.StringValue != "radiomisd" {
+		t.Fatalf("service.name attribute wrong: %+v", got)
+	}
+	ss := doc.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(ss) != 2 {
+		t.Fatalf("got %d spans, want 2", len(ss))
+	}
+	child := ss[0] // ring order: child ended first
+	if child.Name != "job.run" || len(child.TraceID) != 32 || len(child.SpanID) != 16 || len(child.ParentSpanID) != 16 {
+		t.Fatalf("child span wrong: %+v", child)
+	}
+	if child.Kind != 1 || child.StartTimeUnixNano == "" || child.EndTimeUnixNano == "" {
+		t.Fatalf("child span missing OTLP fields: %+v", child)
+	}
+	if len(child.Events) != 1 || child.Events[0].Name != "cache.miss" {
+		t.Fatalf("child events wrong: %+v", child.Events)
+	}
+	root := ss[1]
+	if root.ParentSpanID != "" {
+		t.Fatalf("root has parent %q", root.ParentSpanID)
+	}
+	if root.TraceID != child.TraceID {
+		t.Fatal("spans of one trace exported with different trace IDs")
+	}
+}

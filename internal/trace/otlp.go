@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// OTLP-shaped JSON export: the structure of an OTLP/HTTP
+// ExportTraceServiceRequest body (resourceSpans → scopeSpans → spans)
+// with the JSON field conventions of the OTLP spec — hex IDs, unix-nano
+// timestamps as decimal strings, and {stringValue,intValue,...}-tagged
+// attribute values. Files written here load into any OTLP-JSON-aware
+// backend or can be replayed against a collector; the repo itself stays
+// dependency-free.
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // decimal string, per OTLP JSON
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"` // 1 = SPAN_KIND_INTERNAL
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Events            []otlpEvent    `json:"events,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// otlpAttrValue maps a span attribute to the OTLP tagged-value encoding.
+func otlpAttrValue(v any) otlpValue {
+	switch x := v.(type) {
+	case string:
+		return otlpValue{StringValue: &x}
+	case bool:
+		return otlpValue{BoolValue: &x}
+	case int:
+		s := strconv.FormatInt(int64(x), 10)
+		return otlpValue{IntValue: &s}
+	case int64:
+		s := strconv.FormatInt(x, 10)
+		return otlpValue{IntValue: &s}
+	case uint64:
+		s := strconv.FormatUint(x, 10)
+		return otlpValue{IntValue: &s}
+	case float64:
+		return otlpValue{DoubleValue: &x}
+	default:
+		s := fmt.Sprint(x)
+		return otlpValue{StringValue: &s}
+	}
+}
+
+func otlpAttrs(attrs []Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, 0, len(attrs))
+	for _, a := range attrs {
+		out = append(out, otlpKeyValue{Key: a.Key, Value: otlpAttrValue(a.Value)})
+	}
+	return out
+}
+
+// WriteOTLP writes the spans as one OTLP-shaped JSON document attributed
+// to the named service.
+func WriteOTLP(w io.Writer, serviceName string, spans []*Span) error {
+	out := make([]otlpSpan, 0, len(spans))
+	for _, sp := range spans {
+		os := otlpSpan{
+			TraceID:           sp.Trace.String(),
+			SpanID:            sp.ID.String(),
+			Name:              sp.Name,
+			Kind:              1,
+			StartTimeUnixNano: strconv.FormatInt(sp.StartTime.UnixNano(), 10),
+			EndTimeUnixNano:   strconv.FormatInt(sp.EndTime.UnixNano(), 10),
+			Attributes:        otlpAttrs(sp.Attrs),
+		}
+		if !sp.Parent.IsZero() {
+			os.ParentSpanID = sp.Parent.String()
+		}
+		for _, ev := range sp.Events {
+			os.Events = append(os.Events, otlpEvent{
+				TimeUnixNano: strconv.FormatInt(ev.Time.UnixNano(), 10),
+				Name:         ev.Name,
+				Attributes:   otlpAttrs(ev.Attrs),
+			})
+		}
+		out = append(out, os)
+	}
+
+	var doc otlpExport
+	var rs otlpResourceSpans
+	rs.Resource.Attributes = []otlpKeyValue{{Key: "service.name", Value: otlpAttrValue(serviceName)}}
+	var ss otlpScopeSpans
+	ss.Scope.Name = "radiomis/internal/trace"
+	ss.Spans = out
+	rs.ScopeSpans = []otlpScopeSpans{ss}
+	doc.ResourceSpans = []otlpResourceSpans{rs}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

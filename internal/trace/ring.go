@@ -1,0 +1,50 @@
+package trace
+
+import "sync/atomic"
+
+// ring is a lock-free bounded buffer of finished spans: writers claim a
+// monotonically increasing slot index with one atomic add and publish the
+// span with one atomic pointer store, so End never blocks and never
+// allocates beyond the span itself. Once the ring wraps, the newest span
+// overwrites the oldest — /debug/traces is a recent-history window, not
+// an archive.
+//
+// snapshot is best-effort under concurrent writes: a writer that has
+// claimed a slot but not yet stored into it leaves the slot's previous
+// occupant visible, so a snapshot taken mid-write may briefly contain a
+// span older than its neighbors. That is acceptable for a diagnostics
+// surface and keeps the write path wait-free.
+type ring struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func newRing(capacity int) ring {
+	return ring{slots: make([]atomic.Pointer[Span], capacity)}
+}
+
+// add publishes a finished span, evicting the oldest when full.
+func (r *ring) add(s *Span) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// added returns the total number of spans ever published.
+func (r *ring) added() uint64 { return r.next.Load() }
+
+// snapshot returns the retained spans, oldest first.
+func (r *ring) snapshot() []*Span {
+	n := r.next.Load()
+	cap64 := uint64(len(r.slots))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]*Span, 0, n-start)
+	for i := start; i < n; i++ {
+		if sp := r.slots[i%cap64].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
