@@ -1,0 +1,68 @@
+package radiomis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSolveBatchFacade(t *testing.T) {
+	g := GNP(96, 8.0/96, 3)
+	plan, err := SolveBatch(g, BatchOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats()
+	if s.Vertices != g.N() || s.Batches != plan.NumBatches() {
+		t.Errorf("inconsistent stats %+v for %d-batch plan on %d vertices", s, plan.NumBatches(), g.N())
+	}
+
+	// Every batch must be an independent set under the facade's own checker.
+	for i, batch := range plan.Batches() {
+		in := make([]bool, g.N())
+		for _, v := range batch {
+			in[v] = true
+		}
+		for _, v := range batch {
+			for _, w := range g.Neighbors(v) {
+				if in[w] {
+					t.Fatalf("batch %d contains adjacent vertices %d and %d", i, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPlannerFacadeMatchesOneShot(t *testing.T) {
+	g := GNP(80, 8.0/80, 9)
+	pl := NewBatchPlanner()
+	defer pl.Close()
+	warm, err := pl.Batches(g, BatchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveBatch(g, BatchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Batches(), want.Batches()) {
+		t.Error("planner facade diverges from SolveBatch")
+	}
+}
+
+func TestSolveLinearFacade(t *testing.T) {
+	g := GNP(100, 8.0/100, 1)
+	p := DefaultParams(g.N(), g.MaxDegree())
+	res, err := SolveLinear(g, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.MaxEnergy() != 0 {
+		t.Errorf("sequential run reports rounds=%d maxEnergy=%d, want 0, 0", res.Rounds, res.MaxEnergy())
+	}
+}

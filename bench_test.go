@@ -281,6 +281,64 @@ func BenchmarkBackbone(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveBatch measures the batch-scheduling serving path on the
+// many-small-graphs workload it exists for: thousands of conflict graphs
+// peeled into execution batches per second. The "planner" variant is the
+// amortized path and must show 0 allocs/op once warm — the contract
+// scripts/benchallocs.py guards in CI; "oneshot" is the per-call
+// convenience entry point, allocating its caller-owned plan.
+func BenchmarkSolveBatch(b *testing.B) {
+	const nGraphs = 64
+	for _, n := range []int{64, 256} {
+		graphs := make([]*graph.Graph, nGraphs)
+		for i := range graphs {
+			graphs[i] = graph.GNP(n, 8.0/float64(n), rng.New(uint64(i+1)))
+		}
+		stat := func(b *testing.B, plan *BatchPlan, batches *int) {
+			s := plan.Stats()
+			*batches += s.Batches
+			if s.Vertices != n {
+				b.Fatalf("plan covers %d vertices, want %d", s.Vertices, n)
+			}
+		}
+
+		b.Run(fmt.Sprintf("planner/n=%d", n), func(b *testing.B) {
+			pl := NewBatchPlanner()
+			defer pl.Close()
+			var batches int
+			for _, g := range graphs { // warm every buffer before timing
+				if _, err := pl.Batches(g, BatchOptions{Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := pl.Batches(graphs[i%nGraphs], BatchOptions{Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stat(b, plan, &batches)
+			}
+			b.ReportMetric(float64(batches)/float64(b.N), "batches/op")
+		})
+
+		b.Run(fmt.Sprintf("oneshot/n=%d", n), func(b *testing.B) {
+			var batches int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := SolveBatch(graphs[i%nGraphs], BatchOptions{Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stat(b, plan, &batches)
+			}
+			b.ReportMetric(float64(batches)/float64(b.N), "batches/op")
+		})
+	}
+}
+
 // BenchmarkCongestLuby regenerates experiment E11's CONGEST row.
 func BenchmarkCongestLuby(b *testing.B) {
 	for _, n := range []int{256, 4096} {

@@ -1,4 +1,4 @@
-// Command benchsuite regenerates the reproduction experiments E1–E14 (one
+// Command benchsuite regenerates the reproduction experiments E1–E15 (one
 // per quantitative claim of the paper, plus the E14 fault-injection
 // robustness sweeps — see DESIGN.md's per-experiment index) and prints
 // their result tables. EXPERIMENTS.md records the expected shapes and a

@@ -10,7 +10,14 @@
 //	radiomis -algo cd -n 512 -faults loss=0.2,crash=0.01,restart=16
 //	radiomis -algo cd -n 512 -trace run.json     # span timeline for chrome://tracing
 //
-// Algorithms: cd, beep, nocd, lowdegree, naive-cd, naive-nocd,
+// The `schedule` subcommand peels a conflict graph into independent
+// execution batches by iterated MIS:
+//
+//	radiomis schedule -graph gnp -n 512 -seed 7
+//	radiomis schedule -algo cd -n 128 -check     # radio layers, re-verified
+//	radiomis schedule -n 256 -json               # full plan + edges on stdout
+//
+// Algorithms: cd, beep, nocd, lowdegree, linear, naive-cd, naive-nocd,
 // unknown-delta. Graphs: gnp, unitdisk, grid, tree, hypercube, clique,
 // cycle, star, lowerbound, prefattach.
 //
@@ -52,6 +59,11 @@ func main() {
 }
 
 func run(args []string) error {
+	// Subcommand dispatch; bare flags keep their historical meaning (one
+	// algorithm run), `radiomis schedule ...` plans batch schedules.
+	if len(args) > 0 && args[0] == "schedule" {
+		return runSchedule(args[1:])
+	}
 	fs := flag.NewFlagSet("radiomis", flag.ContinueOnError)
 	var (
 		algo     = fs.String("algo", "cd", "algorithm: cd|beep|nocd|lowdegree|naive-cd|naive-nocd|unknown-delta")

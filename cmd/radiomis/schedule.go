@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+	"radiomis/internal/schedule"
+)
+
+// scheduleSchema versions the -json output of `radiomis schedule`.
+const scheduleSchema = "radiomis.schedule/v1"
+
+// scheduleJSON is the -json document: everything an external checker needs
+// to validate the plan (the exact edge list) plus the plan itself.
+type scheduleJSON struct {
+	Schema    string         `json:"schema"`
+	Algorithm string         `json:"algorithm"`
+	Family    string         `json:"family"`
+	N         int            `json:"n"`
+	Seed      uint64         `json:"seed"`
+	Edges     [][2]int       `json:"edges"`
+	Batches   [][]int        `json:"batches"`
+	Stats     schedule.Stats `json:"stats"`
+	PlanMs    float64        `json:"planMs"`
+}
+
+// runSchedule implements the `radiomis schedule` subcommand: peel a
+// generated conflict graph into independent execution batches by iterated
+// MIS and report the plan quality (or, with -json, the full plan and edge
+// list for external validation).
+func runSchedule(args []string) error {
+	fs := flag.NewFlagSet("radiomis schedule", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "linear", "per-layer MIS algorithm (linear = sequential baseline; any registered algorithm works)")
+		family   = fs.String("graph", "gnp", "conflict-graph family (gnp, unitdisk, grid, tree, hypercube, clique, cycle, star, lowerbound, prefattach)")
+		n        = fs.Int("n", 256, "approximate number of vertices")
+		seed     = fs.Uint64("seed", 1, "random seed (graph and plan are deterministic in it)")
+		timeout  = fs.Duration("timeout", 0, "abort planning past this wall-clock budget (0 = none)")
+		jsonOut  = fs.Bool("json", false, "emit the plan, stats, and edge list as one JSON document on stdout")
+		verbose  = fs.Bool("v", false, "print every batch")
+		validate = fs.Bool("check", false, "re-verify the plan's invariants before reporting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := graph.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	g := graph.Generate(fam, *n, rng.New(*seed))
+	start := time.Now()
+	plan, err := schedule.Batches(g, schedule.Options{Algorithm: *algo, Seed: *seed, Ctx: ctx})
+	if err != nil {
+		return err
+	}
+	planMs := float64(time.Since(start)) / float64(time.Millisecond)
+	if *validate {
+		if err := plan.Validate(g); err != nil {
+			return fmt.Errorf("plan failed validation: %w", err)
+		}
+	}
+	stats := plan.Stats()
+
+	if *jsonOut {
+		doc := scheduleJSON{
+			Schema:    scheduleSchema,
+			Algorithm: *algo,
+			Family:    fam.String(),
+			N:         g.N(),
+			Seed:      *seed,
+			Edges:     edgeList(g),
+			Batches:   plan.Batches(),
+			Stats:     stats,
+			PlanMs:    planMs,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Printf("schedule: %s  algo=%s  batches=%d  maxBatch=%d  meanBatch=%.1f  planMs=%.3f\n",
+		g, *algo, stats.Batches, stats.MaxBatch, stats.MeanBatch, planMs)
+	if *verbose {
+		for i := 0; i < plan.NumBatches(); i++ {
+			fmt.Printf("  batch %3d (%4d): %v\n", i, len(plan.Batch(i)), plan.Batch(i))
+		}
+	}
+	return nil
+}
+
+// edgeList flattens g's adjacency into u < v pairs.
+func edgeList(g *graph.Graph) [][2]int {
+	edges := make([][2]int, 0, g.M())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				edges = append(edges, [2]int{v, w})
+			}
+		}
+	}
+	return edges
+}

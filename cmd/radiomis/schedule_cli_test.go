@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestScheduleSubcommand(t *testing.T) {
+	if err := run([]string{"schedule", "-graph", "grid", "-n", "64", "-seed", "3", "-check"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleSubcommandVerbose(t *testing.T) {
+	if err := run([]string{"schedule", "-graph", "cycle", "-n", "24", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleSubcommandRadioAlgo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radio layer simulation is slow")
+	}
+	if err := run([]string{"schedule", "-algo", "cd", "-graph", "gnp", "-n", "48", "-check"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleSubcommandErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown algo", args: []string{"schedule", "-algo", "bogus"}},
+		{name: "unknown graph", args: []string{"schedule", "-graph", "bogus"}},
+		{name: "bad flag", args: []string{"schedule", "-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// TestScheduleJSONOutput captures the -json document and validates the
+// plan against the edge list it carries — the same check the CI smoke
+// script performs externally.
+func TestScheduleJSONOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"schedule", "-graph", "gnp", "-n", "80", "-seed", "5", "-json"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var doc scheduleJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != scheduleSchema || doc.Algorithm != "linear" || doc.N != 80 {
+		t.Errorf("document header = %+v", doc)
+	}
+	// Rebuild adjacency from the emitted edges and re-check the plan.
+	adj := make(map[[2]int]bool, len(doc.Edges))
+	for _, e := range doc.Edges {
+		adj[e] = true
+	}
+	layer := make([]int, doc.N)
+	for v := range layer {
+		layer[v] = -1
+	}
+	for i, b := range doc.Batches {
+		for _, v := range b {
+			if layer[v] != -1 {
+				t.Fatalf("vertex %d scheduled twice", v)
+			}
+			layer[v] = i
+		}
+		for _, v := range b {
+			for _, u := range b {
+				if u < v && adj[[2]int{u, v}] {
+					t.Fatalf("edge {%d,%d} inside batch %d", u, v, i)
+				}
+			}
+		}
+	}
+	for v, l := range layer {
+		if l == -1 {
+			t.Fatalf("vertex %d unscheduled", v)
+		}
+	}
+	if doc.Stats.Batches != len(doc.Batches) {
+		t.Errorf("stats.batches = %d, want %d", doc.Stats.Batches, len(doc.Batches))
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestE15Quick runs the scheduling experiment at smoke scale and checks
+// its structural guarantees: both algorithm series present across the full
+// density sweep, batch counts growing with density (denser conflict graphs
+// need longer critical paths), and determinism at a fixed seed.
+func TestE15Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs radio-layer peeling")
+	}
+	ctx := context.Background()
+	cfg := Config{Seed: 42, Quick: true}
+	rep, err := E15Scheduling(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E15" || len(rep.Tables) != 2 {
+		t.Fatalf("report shape: id=%s tables=%d", rep.ID, len(rep.Tables))
+	}
+
+	degrees := []float64{2, 4, 8, 16, 32}
+	for _, series := range []string{"schedule/linear", "schedule/cd"} {
+		sparse := findPoint(t, rep, series, 2, "batches").Summary.Mean
+		dense := findPoint(t, rep, series, 32, "batches").Summary.Mean
+		if !(dense > sparse) {
+			t.Errorf("%s: batches at d=32 (%.1f) not above d=2 (%.1f)", series, dense, sparse)
+		}
+		for _, d := range degrees {
+			for _, metric := range []string{"batches", "maxBatch", "meanBatch"} {
+				pt := findPoint(t, rep, series, d, metric)
+				if pt.Summary.Mean <= 0 {
+					t.Errorf("%s d=%v %s: mean = %v, want > 0", series, d, metric, pt.Summary.Mean)
+				}
+			}
+		}
+	}
+
+	// Determinism: the metric points (not wall time) must replay exactly.
+	rep2, err := E15Scheduling(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metrics) != len(rep2.Metrics) {
+		t.Fatalf("metric count drifted: %d vs %d", len(rep.Metrics), len(rep2.Metrics))
+	}
+	for i := range rep.Metrics {
+		a, b := rep.Metrics[i], rep2.Metrics[i]
+		if a.Series != b.Series || a.X != b.X || a.Metric != b.Metric || a.Summary != b.Summary {
+			t.Fatalf("metric point %d drifted between identical runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E14 of
+// Package experiments implements the reproduction experiments E1–E15 of
 // DESIGN.md, one per quantitative claim of the paper (the paper is a
 // brief announcement with no empirical tables, so each theorem, lemma, and
 // complexity bound is turned into a measurable experiment). The benchmark
@@ -25,7 +25,7 @@ type Config struct {
 
 // Report is the outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier (E1–E14).
+	// ID is the experiment identifier (E1–E15).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -83,6 +83,7 @@ func All() []Definition {
 		{ID: "E12", Title: "§1 application: MIS → backbone → collision-free broadcast", Run: E12Backbone},
 		{ID: "E13", Title: "constants sensitivity: where the failure cliffs sit", Run: E13Constants},
 		{ID: "E14", Title: "robustness: fault-injection cliffs and energy inflation", Run: E14Robustness},
+		{ID: "E15", Title: "batch scheduling: iterated-MIS peeling vs conflict density", Run: E15Scheduling},
 	}
 	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
 	return defs

@@ -47,8 +47,8 @@ func TestLookup(t *testing.T) {
 
 func TestAllOrderedAndUnique(t *testing.T) {
 	defs := All()
-	if len(defs) != 14 {
-		t.Fatalf("experiment count = %d, want 14", len(defs))
+	if len(defs) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(defs))
 	}
 	seen := map[string]bool{}
 	for i, d := range defs {

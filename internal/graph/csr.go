@@ -22,18 +22,33 @@ type CSR struct {
 // BuildCSR returns a CSR snapshot of g's current adjacency. The snapshot
 // does not track later mutations of g.
 func BuildCSR(g *Graph) *CSR {
-	n := g.N()
 	c := &CSR{
-		RowStart: make([]int32, n+1),
+		RowStart: make([]int32, 0, g.N()+1),
 		Targets:  make([]int32, 0, 2*g.M()),
 	}
+	c.Reset(g)
+	return c
+}
+
+// Reset rebuilds c in place as a snapshot of g's current adjacency, reusing
+// the backing arrays when their capacity suffices. It is the amortization
+// hook of batch-serving paths (schedule.Planner): a warm CSR absorbs a
+// stream of small graphs without allocating per call.
+func (c *CSR) Reset(g *Graph) {
+	n := g.N()
+	if cap(c.RowStart) < n+1 {
+		c.RowStart = make([]int32, n+1)
+	} else {
+		c.RowStart = c.RowStart[:n+1]
+	}
+	c.RowStart[0] = 0
+	c.Targets = c.Targets[:0]
 	for v := 0; v < n; v++ {
 		for _, w := range g.Neighbors(v) {
 			c.Targets = append(c.Targets, int32(w))
 		}
 		c.RowStart[v+1] = int32(len(c.Targets))
 	}
-	return c
 }
 
 // N returns the number of vertices of the snapshot.

@@ -1,0 +1,161 @@
+package graph
+
+import "radiomis/internal/rng"
+
+// MinDegreeScratch holds all working state of the linear-time min-degree
+// greedy MIS. The structure is a bucket queue over degrees: an intrusive
+// doubly-linked list per degree value plus a monotone cursor. Picking the
+// minimum-degree vertex, deleting it and its neighbors, and decrementing
+// degrees are all O(1) per link operation, and the cursor only moves down
+// when a decrement drops a vertex below it — total work O(V + E) per MIS.
+//
+// A scratch is reusable: capacities grow to the largest graph seen and all
+// state is re-initialized per call, so a warm scratch computes MIS after
+// MIS with zero allocations. It is not safe for concurrent use.
+type MinDegreeScratch struct {
+	head   []int32 // head[d] = first vertex of degree-d bucket, -1 if empty
+	next   []int32 // intrusive forward links, -1 terminated
+	prev   []int32 // intrusive backward links, -1 at bucket head
+	bdeg   []int32 // vertex's current degree within the live candidate set
+	inq    []bool  // vertex is still in the bucket queue
+	order  []int32 // seed-shuffled insertion order
+	chosen []int32 // output buffer, reused across calls
+}
+
+func (s *MinDegreeScratch) grow(n int) {
+	if cap(s.next) < n {
+		s.head = make([]int32, n)
+		s.next = make([]int32, n)
+		s.prev = make([]int32, n)
+		s.bdeg = make([]int32, n)
+		s.inq = make([]bool, n)
+		s.order = make([]int32, 0, n)
+		s.chosen = make([]int32, 0, n)
+	} else {
+		s.head = s.head[:n]
+		s.next = s.next[:n]
+		s.prev = s.prev[:n]
+		s.bdeg = s.bdeg[:n]
+		s.inq = s.inq[:n]
+	}
+}
+
+// unlink removes v from its current bucket.
+func (s *MinDegreeScratch) unlink(v int32) {
+	if s.prev[v] >= 0 {
+		s.next[s.prev[v]] = s.next[v]
+	} else {
+		s.head[s.bdeg[v]] = s.next[v]
+	}
+	if s.next[v] >= 0 {
+		s.prev[s.next[v]] = s.prev[v]
+	}
+}
+
+// pushHead inserts v at the head of bucket d.
+func (s *MinDegreeScratch) pushHead(v, d int32) {
+	s.bdeg[v] = d
+	s.prev[v] = -1
+	s.next[v] = s.head[d]
+	if s.head[d] >= 0 {
+		s.prev[s.head[d]] = v
+	}
+	s.head[d] = v
+}
+
+// MISOnView computes a maximal independent set of the subgraph induced by
+// vw's alive vertices, greedily by minimum live degree with seed-determined
+// tie-breaking, then removes the chosen vertices from the view (leaving
+// their neighbors alive — the residual an iterated-MIS peeling wants next).
+//
+// The returned slice is owned by the scratch and valid until the next call.
+// Total work is O(V + E) of the snapshot; steady-state allocations are zero
+// once the scratch has warmed to the graph size.
+func (s *MinDegreeScratch) MISOnView(vw *View, seed uint64) []int32 {
+	n := vw.Len()
+	s.grow(n)
+	s.chosen = s.chosen[:0]
+	if vw.AliveCount() == 0 {
+		return s.chosen
+	}
+
+	// Seed-shuffled insertion order: vertices entering their bucket earlier
+	// end up deeper in the list, so equal-degree ties resolve by the
+	// permutation. Fisher–Yates over the alive vertices, SplitMix64-driven.
+	s.order = s.order[:0]
+	for v := 0; v < n; v++ {
+		if vw.Alive(v) {
+			s.order = append(s.order, int32(v))
+		}
+	}
+	state := seed
+	var r uint64
+	for i := len(s.order) - 1; i > 0; i-- {
+		state, r = rng.SplitMix64(state)
+		j := int(r % uint64(i+1))
+		s.order[i], s.order[j] = s.order[j], s.order[i]
+	}
+
+	for v := 0; v < n; v++ {
+		s.head[v] = -1
+		s.inq[v] = false
+	}
+	for _, v := range s.order {
+		s.pushHead(v, int32(vw.Degree(int(v))))
+		s.inq[v] = true
+	}
+
+	remaining := len(s.order)
+	cursor := int32(0)
+	for remaining > 0 {
+		for s.head[cursor] < 0 {
+			cursor++
+		}
+		v := s.head[cursor]
+		s.chosen = append(s.chosen, v)
+		s.unlink(v)
+		s.inq[v] = false
+		remaining--
+		// Delete v's live neighbors from the candidate set and decrement
+		// the degrees of *their* live neighbors, sliding each one bucket
+		// down. A decrement below the cursor pulls the cursor back — the
+		// only way it moves down, bounding total cursor motion by O(V+E).
+		for _, w := range vw.Neighbors(int(v)) {
+			if !s.inq[w] {
+				continue
+			}
+			s.unlink(w)
+			s.inq[w] = false
+			remaining--
+			for _, x := range vw.Neighbors(int(w)) {
+				if !s.inq[x] {
+					continue
+				}
+				s.unlink(x)
+				d := s.bdeg[x] - 1
+				s.pushHead(x, d)
+				if d < cursor {
+					cursor = d
+				}
+			}
+		}
+	}
+
+	for _, v := range s.chosen {
+		vw.Remove(int(v))
+	}
+	return s.chosen
+}
+
+// MinDegreeMIS computes a maximal independent set of g by the linear-time
+// min-degree greedy, deterministic under seed. It is the one-shot
+// convenience over MinDegreeScratch/View; batch paths reuse those directly.
+func MinDegreeMIS(g *Graph, seed uint64) []bool {
+	vw := NewView(BuildCSR(g))
+	var s MinDegreeScratch
+	in := make([]bool, g.N())
+	for _, v := range s.MISOnView(vw, seed) {
+		in[v] = true
+	}
+	return in
+}

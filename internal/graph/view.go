@@ -1,0 +1,81 @@
+package graph
+
+// View is an in-place vertex-mask view over a CSR snapshot: a subgraph
+// induced by the currently-alive vertices, maintained by masking rather
+// than by rebuilding adjacency. Removing a vertex costs O(deg) — it flips
+// one mask bit and decrements the live degrees of its neighbors — so a
+// whole peeling pass (iterated-MIS batch scheduling, residual-graph
+// experiments) costs O(V + E) total instead of the O(V + E) *per layer*
+// that InducedSubgraph rebuilding pays.
+//
+// A View never allocates after Reset when reused across graphs of
+// non-growing size, which is what the schedule.Planner's zero
+// steady-state-allocation contract is built on.
+type View struct {
+	csr   *CSR
+	alive []bool
+	deg   []int32 // live degree: neighbors that are still alive
+	n     int     // number of alive vertices
+}
+
+// NewView returns a View over csr with every vertex alive.
+func NewView(csr *CSR) *View {
+	vw := &View{}
+	vw.Reset(csr)
+	return vw
+}
+
+// Reset rebinds the view to csr and marks every vertex alive, reusing the
+// mask and degree buffers when capacity suffices.
+func (vw *View) Reset(csr *CSR) {
+	n := csr.N()
+	vw.csr = csr
+	if cap(vw.alive) < n {
+		vw.alive = make([]bool, n)
+		vw.deg = make([]int32, n)
+	} else {
+		vw.alive = vw.alive[:n]
+		vw.deg = vw.deg[:n]
+	}
+	for v := 0; v < n; v++ {
+		vw.alive[v] = true
+		vw.deg[v] = csr.RowStart[v+1] - csr.RowStart[v]
+	}
+	vw.n = n
+}
+
+// CSR returns the underlying snapshot.
+func (vw *View) CSR() *CSR { return vw.csr }
+
+// Len returns the total number of vertices of the snapshot (alive or not).
+func (vw *View) Len() int { return len(vw.alive) }
+
+// AliveCount returns the number of alive vertices.
+func (vw *View) AliveCount() int { return vw.n }
+
+// Alive reports whether v is still in the view.
+func (vw *View) Alive(v int) bool { return vw.alive[v] }
+
+// Degree returns v's live degree: the number of alive neighbors. Only
+// meaningful while v itself is alive.
+func (vw *View) Degree(v int) int { return int(vw.deg[v]) }
+
+// Neighbors returns v's full neighbor row in the snapshot. Callers filter
+// dead endpoints with Alive; returning the raw row keeps iteration
+// branch-light and allocation-free.
+func (vw *View) Neighbors(v int) []int32 { return vw.csr.Neighbors(v) }
+
+// Remove masks v out of the view and updates its neighbors' live degrees.
+// Removing an already-dead vertex is a no-op.
+func (vw *View) Remove(v int) {
+	if !vw.alive[v] {
+		return
+	}
+	vw.alive[v] = false
+	vw.n--
+	for _, w := range vw.csr.Neighbors(v) {
+		if vw.alive[w] {
+			vw.deg[w]--
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"testing"
+
+	"radiomis/internal/rng"
+)
+
+func TestViewInitialState(t *testing.T) {
+	g := Cycle(6)
+	vw := NewView(BuildCSR(g))
+	if vw.Len() != 6 || vw.AliveCount() != 6 {
+		t.Fatalf("Len=%d AliveCount=%d, want 6, 6", vw.Len(), vw.AliveCount())
+	}
+	for v := 0; v < 6; v++ {
+		if !vw.Alive(v) {
+			t.Errorf("vertex %d not alive after NewView", v)
+		}
+		if vw.Degree(v) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, vw.Degree(v))
+		}
+	}
+}
+
+func TestViewRemoveUpdatesDegrees(t *testing.T) {
+	g := Star(5) // center 0, leaves 1..4
+	vw := NewView(BuildCSR(g))
+	vw.Remove(0)
+	if vw.Alive(0) {
+		t.Fatal("removed vertex still alive")
+	}
+	if vw.AliveCount() != 4 {
+		t.Fatalf("AliveCount = %d, want 4", vw.AliveCount())
+	}
+	for v := 1; v <= 4; v++ {
+		if vw.Degree(v) != 0 {
+			t.Errorf("leaf %d live degree = %d, want 0 after center removed", v, vw.Degree(v))
+		}
+	}
+	// Removing again is a no-op.
+	vw.Remove(0)
+	if vw.AliveCount() != 4 {
+		t.Errorf("double Remove changed AliveCount to %d", vw.AliveCount())
+	}
+}
+
+func TestViewMatchesInducedSubgraph(t *testing.T) {
+	// Live degrees under an arbitrary removal sequence must equal degrees
+	// in the explicitly rebuilt induced subgraph.
+	g := GNP(60, 0.15, rng.New(11))
+	vw := NewView(BuildCSR(g))
+	r := rng.New(99)
+	removed := make([]bool, g.N())
+	for k := 0; k < 30; k++ {
+		v := r.Intn(g.N())
+		vw.Remove(v)
+		removed[v] = true
+	}
+	keep := make([]bool, g.N())
+	for v := range keep {
+		keep[v] = !removed[v]
+	}
+	sub, orig := g.InducedSubgraph(keep)
+	alive := 0
+	for sv := 0; sv < sub.N(); sv++ {
+		v := orig[sv]
+		if !vw.Alive(v) {
+			t.Fatalf("vertex %d dead in view but kept in subgraph", v)
+		}
+		if vw.Degree(v) != sub.Degree(sv) {
+			t.Errorf("vertex %d: view degree %d, induced degree %d", v, vw.Degree(v), sub.Degree(sv))
+		}
+		alive++
+	}
+	if alive != vw.AliveCount() {
+		t.Errorf("AliveCount = %d, induced subgraph has %d", vw.AliveCount(), alive)
+	}
+}
+
+func TestViewResetReusesBuffers(t *testing.T) {
+	big := GNP(100, 0.1, rng.New(1))
+	small := Cycle(10)
+	vw := NewView(BuildCSR(big))
+	vw.Remove(3)
+	vw.Remove(7)
+
+	csr := BuildCSR(small)
+	vw.Reset(csr)
+	if vw.Len() != 10 || vw.AliveCount() != 10 {
+		t.Fatalf("after Reset: Len=%d AliveCount=%d, want 10, 10", vw.Len(), vw.AliveCount())
+	}
+	for v := 0; v < 10; v++ {
+		if !vw.Alive(v) || vw.Degree(v) != 2 {
+			t.Errorf("vertex %d: alive=%v deg=%d after Reset, want true, 2", v, vw.Alive(v), vw.Degree(v))
+		}
+	}
+	if vw.CSR() != csr {
+		t.Error("CSR() does not return the bound snapshot")
+	}
+}
+
+func TestCSRResetReusesArrays(t *testing.T) {
+	big := GNP(80, 0.2, rng.New(2))
+	c := BuildCSR(big)
+	gotRow, gotTgt := &c.RowStart[0], &c.Targets[0]
+
+	small := Path(5)
+	c.Reset(small)
+	if c.N() != 5 {
+		t.Fatalf("N = %d after Reset, want 5", c.N())
+	}
+	for v := 0; v < 5; v++ {
+		if c.Degree(v) != small.Degree(v) {
+			t.Errorf("vertex %d: CSR degree %d, graph degree %d", v, c.Degree(v), small.Degree(v))
+		}
+	}
+	if &c.RowStart[0] != gotRow || &c.Targets[0] != gotTgt {
+		t.Error("Reset to a smaller graph reallocated backing arrays")
+	}
+}

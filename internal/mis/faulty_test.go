@@ -11,7 +11,7 @@ import (
 )
 
 func TestAlgorithmsRegistry(t *testing.T) {
-	want := []string{"beep", "cd", "lowdegree", "naive-cd", "naive-nocd", "nocd", "unknown-delta"}
+	want := []string{"beep", "cd", "linear", "lowdegree", "naive-cd", "naive-nocd", "nocd", "unknown-delta"}
 	got := Algorithms()
 	if len(got) != len(want) {
 		t.Fatalf("Algorithms() = %v, want %v", got, want)

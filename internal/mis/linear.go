@@ -1,0 +1,47 @@
+package mis
+
+import (
+	"context"
+
+	"radiomis/internal/graph"
+)
+
+// This file registers the linear-time sequential baseline ("linear" in the
+// registry): a min-degree greedy MIS over a bucket queue, O(n+m) total work
+// with no radio rounds at all. It is the cheap reference point the paper's
+// energy bounds are measured against (a centralized scheduler that simply
+// has the whole conflict graph in hand), and the default per-layer
+// algorithm of the schedule package's iterated-MIS batching.
+
+// runLinear adapts graph.MinDegreeMIS to the registry's Result shape. A
+// sequential run has no rounds and spends no radio energy, so every
+// per-node series is zero; only Status/InMIS carry information.
+func runLinear(g *graph.Graph, _ Params, seed uint64) *Result {
+	n := g.N()
+	res := &Result{
+		Status:        make([]Status, n),
+		InMIS:         graph.MinDegreeMIS(g, seed),
+		Energy:        make([]uint64, n),
+		DecisionRound: make([]uint64, n),
+	}
+	for v := 0; v < n; v++ {
+		if res.InMIS[v] {
+			res.Status[v] = StatusInMIS
+		} else {
+			res.Status[v] = StatusOutMIS
+		}
+	}
+	return res
+}
+
+// SolveLinear computes an MIS of g with the linear-time sequential
+// min-degree greedy, deterministic under seed. Params are validated but
+// otherwise unused (the algorithm has no tunables).
+func SolveLinear(g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return Run("linear", g, p, RunOpts{Seed: seed})
+}
+
+// SolveLinearContext is SolveLinear honoring ctx cancellation.
+func SolveLinearContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
+	return Run("linear", g, p, RunOpts{Seed: seed, Ctx: ctx})
+}

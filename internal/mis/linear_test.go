@@ -1,0 +1,88 @@
+package mis
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"radiomis/internal/faults"
+	"radiomis/internal/graph"
+)
+
+func TestSolveLinearIsMIS(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		g := graph.GNP(120, 8.0/120, rand.New(rand.NewSource(int64(seed))))
+		p := ParamsDefault(120, g.MaxDegree())
+		res, err := SolveLinear(g, p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Check(g); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if res.Rounds != 0 {
+			t.Errorf("seed %d: sequential run reports %d rounds, want 0", seed, res.Rounds)
+		}
+		if res.MaxEnergy() != 0 {
+			t.Errorf("seed %d: sequential run spent energy %d, want 0", seed, res.MaxEnergy())
+		}
+		for v, s := range res.Status {
+			if s != StatusInMIS && s != StatusOutMIS {
+				t.Fatalf("seed %d: node %d has status %v", seed, v, s)
+			}
+		}
+	}
+}
+
+func TestSolveLinearDeterministic(t *testing.T) {
+	g := graph.GNP(100, 0.08, rand.New(rand.NewSource(4)))
+	p := ParamsDefault(100, g.MaxDegree())
+	a, err := SolveLinear(g, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveLinear(g, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (graph, seed) produced different results")
+	}
+}
+
+func TestLinearRegistryMetadata(t *testing.T) {
+	info, ok := Describe("linear")
+	if !ok {
+		t.Fatal("linear not registered")
+	}
+	if info.Model != ModelSequential {
+		t.Errorf("Model = %q, want %q", info.Model, ModelSequential)
+	}
+	if !KnownAlgorithm("linear") {
+		t.Error("KnownAlgorithm(linear) = false")
+	}
+}
+
+func TestLinearRejectsFaults(t *testing.T) {
+	g := graph.Cycle(8)
+	p := ParamsDefault(8, 2)
+	_, err := Run("linear", g, p, RunOpts{Faults: faults.Profile{Loss: 0.1}})
+	if err == nil {
+		t.Fatal("sequential algorithm accepted a fault profile")
+	}
+	if !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("error %q does not explain the sequential restriction", err)
+	}
+}
+
+func TestLinearHonorsCanceledContext(t *testing.T) {
+	g := graph.Cycle(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveLinearContext(ctx, g, ParamsDefault(8, 2), 1)
+	if err == nil {
+		t.Fatal("canceled context not honored")
+	}
+}

@@ -19,29 +19,38 @@ import (
 // functions are one-line wrappers, SolveWithFaults is a one-line wrapper,
 // and the daemon's discovery endpoint serializes Infos.
 
-// algoSpec is one registry entry.
+// algoSpec is one registry entry. Exactly one of program (a radio-model
+// distributed algorithm) and sequential (a centralized reference algorithm
+// with no rounds, no energy, and no channel to perturb) is set.
 type algoSpec struct {
 	model       radio.Model
 	program     func(Params) radio.Program
+	sequential  func(g *graph.Graph, p Params, seed uint64) *Result
 	description string
 }
 
+// ModelSequential is the Model string reported for registry entries that
+// run centrally rather than on the simulated radio channel.
+const ModelSequential = "sequential"
+
 // algoSpecs maps canonical algorithm names to their specs.
 var algoSpecs = map[string]algoSpec{
-	"cd": {radio.ModelCD, CDProgram,
-		"Algorithm 1: energy-optimal MIS with collision detection (O(log n) energy, O(log² n) rounds)"},
-	"beep": {radio.ModelBeep, CDProgram,
-		"Algorithm 1 unchanged in the beeping model (§3.1); same energy and rounds as cd"},
-	"nocd": {radio.ModelNoCD, NoCDProgram,
-		"Algorithms 2+3: energy-efficient MIS without collision detection (O(log² n log log n) energy)"},
-	"lowdegree": {radio.ModelNoCD, LowDegreeProgram,
-		"round-improved Davies-style MIS of §4.2 (O(log² n log Δ) rounds and energy); best-known-prior baseline"},
-	"naive-cd": {radio.ModelCD, NaiveCDProgram,
-		"straightforward Luby baseline in the CD model (O(log² n) energy)"},
-	"naive-nocd": {radio.ModelNoCD, NaiveNoCDProgram,
-		"Algorithm 1 simulated round-by-round with traditional Decay backoff (O(log⁴ n) energy)"},
-	"unknown-delta": {radio.ModelNoCD, UnknownDeltaProgram,
-		"the §1.1 wrapper for unknown maximum degree, doubling the Δ estimate per attempt"},
+	"cd": {model: radio.ModelCD, program: CDProgram,
+		description: "Algorithm 1: energy-optimal MIS with collision detection (O(log n) energy, O(log² n) rounds)"},
+	"beep": {model: radio.ModelBeep, program: CDProgram,
+		description: "Algorithm 1 unchanged in the beeping model (§3.1); same energy and rounds as cd"},
+	"nocd": {model: radio.ModelNoCD, program: NoCDProgram,
+		description: "Algorithms 2+3: energy-efficient MIS without collision detection (O(log² n log log n) energy)"},
+	"lowdegree": {model: radio.ModelNoCD, program: LowDegreeProgram,
+		description: "round-improved Davies-style MIS of §4.2 (O(log² n log Δ) rounds and energy); best-known-prior baseline"},
+	"naive-cd": {model: radio.ModelCD, program: NaiveCDProgram,
+		description: "straightforward Luby baseline in the CD model (O(log² n) energy)"},
+	"naive-nocd": {model: radio.ModelNoCD, program: NaiveNoCDProgram,
+		description: "Algorithm 1 simulated round-by-round with traditional Decay backoff (O(log⁴ n) energy)"},
+	"unknown-delta": {model: radio.ModelNoCD, program: UnknownDeltaProgram,
+		description: "the §1.1 wrapper for unknown maximum degree, doubling the Δ estimate per attempt"},
+	"linear": {sequential: runLinear,
+		description: "linear-time sequential min-degree greedy MIS (bucket queue, O(n+m) work, no radio rounds); the batch scheduler's default layer algorithm"},
 }
 
 // Algorithms returns the canonical algorithm names, sorted — the accepted
@@ -79,7 +88,11 @@ func Describe(name string) (AlgorithmInfo, bool) {
 	if !ok {
 		return AlgorithmInfo{}, false
 	}
-	return AlgorithmInfo{Name: name, Model: spec.model.String(), Description: spec.description}, true
+	model := ModelSequential
+	if spec.sequential == nil {
+		model = spec.model.String()
+	}
+	return AlgorithmInfo{Name: name, Model: model, Description: spec.description}, true
 }
 
 // Infos returns the metadata of every registered algorithm, sorted by name.
@@ -155,6 +168,20 @@ func Run(name string, g *graph.Graph, p Params, opts RunOpts) (*Result, error) {
 	}
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.sequential != nil {
+		// Sequential algorithms run centrally: there is no channel to
+		// perturb and no per-round stream to observe, so a fault profile is
+		// a caller error while an Observer is silently unused.
+		if !opts.Faults.IsZero() {
+			return nil, fmt.Errorf("mis: %s is a sequential algorithm; fault injection applies only to radio runs", name)
+		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mis: %s run: %w", name, err)
+			}
+		}
+		return spec.sequential(g, p, opts.Seed), nil
 	}
 	res, err := runProgramObserved(opts.Ctx, g, spec.model, opts.Seed, opts.Faults, opts.Observer, spec.program(p))
 	if err != nil {

@@ -23,6 +23,7 @@ func TestRunMatchesSolveFacades(t *testing.T) {
 		"naive-cd":      SolveNaiveCD,
 		"naive-nocd":    SolveNaiveNoCD,
 		"unknown-delta": SolveUnknownDelta,
+		"linear":        SolveLinear,
 	}
 	if got, want := len(facades), len(Algorithms()); got != want {
 		t.Fatalf("facade table covers %d algorithms, registry has %d", got, want)

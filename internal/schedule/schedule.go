@@ -1,0 +1,235 @@
+// Package schedule peels a conflict graph into independent execution
+// batches by iterated MIS: each layer is a maximal independent set of the
+// residual graph left by the previous layers, so everything inside one
+// batch can run concurrently while the batches themselves run in sequence.
+// This is the MIS-as-a-scheduler workload of the blockchain-execution
+// literature (conflict graphs over transactions), served here by the
+// paper's radio algorithms or by the linear-time sequential baseline.
+//
+// Two entry points cover the two serving shapes:
+//
+//   - Batches(g, opts) — one-shot; returns a caller-owned Plan.
+//   - Planner — an amortized instance for high-throughput loops: a warm
+//     Planner computes plan after plan with zero steady-state allocations
+//     on the default (linear) algorithm.
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/mis"
+)
+
+// Options selects how a graph is peeled.
+type Options struct {
+	// Algorithm names the registered MIS algorithm run per layer (see
+	// mis.Algorithms). Empty means "linear", the only choice with the
+	// zero-allocation serving contract; radio algorithms simulate each
+	// layer on the residual subgraph.
+	Algorithm string
+	// Seed makes the plan deterministic: equal (graph, options) yield
+	// identical plans. Layer i derives its own seed from it.
+	Seed uint64
+	// Ctx, when non-nil, bounds the computation (checked between layers,
+	// and passed to radio-algorithm simulations).
+	Ctx context.Context
+}
+
+// Plan is a batch schedule: a partition of the graph's vertices into
+// independent sets, ordered by peeling layer. The two backing arrays keep a
+// Plan allocation-friendly — a Planner reuses them across calls.
+type Plan struct {
+	verts   []int32 // vertices grouped by batch, batch-major
+	offsets []int32 // len NumBatches()+1; batch i is verts[offsets[i]:offsets[i+1]]
+}
+
+// NumBatches returns the number of batches (the plan's critical-path
+// length: batches execute sequentially).
+func (p *Plan) NumBatches() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	return len(p.offsets) - 1
+}
+
+// NumVertices returns the total number of scheduled vertices.
+func (p *Plan) NumVertices() int { return len(p.verts) }
+
+// Batch returns batch i. The slice aliases the plan and must not be
+// modified; it is valid until the owning Planner's next Batches call.
+func (p *Plan) Batch(i int) []int32 { return p.verts[p.offsets[i]:p.offsets[i+1]] }
+
+// Batches materializes the plan as one int slice per batch — the
+// convenience shape for JSON surfaces and tests; hot paths use Batch.
+func (p *Plan) Batches() [][]int {
+	out := make([][]int, p.NumBatches())
+	for i := range out {
+		b := p.Batch(i)
+		out[i] = make([]int, len(b))
+		for j, v := range b {
+			out[i][j] = int(v)
+		}
+	}
+	return out
+}
+
+func (p *Plan) reset(n int) {
+	if cap(p.verts) < n {
+		p.verts = make([]int32, 0, n)
+	} else {
+		p.verts = p.verts[:0]
+	}
+	if len(p.offsets) == 0 && cap(p.offsets) == 0 {
+		p.offsets = make([]int32, 1, 16)
+	} else {
+		p.offsets = p.offsets[:1]
+	}
+	p.offsets[0] = 0
+}
+
+func (p *Plan) appendBatch(chosen []int32) {
+	p.verts = append(p.verts, chosen...)
+	p.offsets = append(p.offsets, int32(len(p.verts)))
+}
+
+// clone returns a caller-owned deep copy.
+func (p *Plan) clone() *Plan {
+	return &Plan{
+		verts:   append([]int32(nil), p.verts...),
+		offsets: append([]int32(nil), p.offsets...),
+	}
+}
+
+// Stats summarizes a plan's batch quality.
+type Stats struct {
+	// Batches is the batch count — the critical-path bound: a batch
+	// executor needs exactly this many sequential steps.
+	Batches int `json:"batches"`
+	// MaxBatch is the largest batch size (peak parallelism demand).
+	MaxBatch int `json:"maxBatch"`
+	// MeanBatch is the average batch size (average parallelism).
+	MeanBatch float64 `json:"meanBatch"`
+	// Vertices is the total number of scheduled vertices.
+	Vertices int `json:"vertices"`
+}
+
+// Stats computes the plan's batch-quality summary.
+func (p *Plan) Stats() Stats {
+	s := Stats{Batches: p.NumBatches(), Vertices: p.NumVertices()}
+	for i := 0; i < s.Batches; i++ {
+		if n := len(p.Batch(i)); n > s.MaxBatch {
+			s.MaxBatch = n
+		}
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Vertices) / float64(s.Batches)
+	}
+	return s
+}
+
+// Validate checks the three invariants that make a plan a correct batch
+// schedule of g:
+//
+//  1. partition — every vertex appears in exactly one batch;
+//  2. independence — no edge has both endpoints in the same batch;
+//  3. maximal peeling — every batch is a *maximal* independent set of its
+//     residual: a vertex scheduled in batch l must have, for every earlier
+//     batch k, a neighbor scheduled in batch k (otherwise batch k was not
+//     maximal when v was still unscheduled).
+//
+// A nil error means the plan is a valid schedule.
+func (p *Plan) Validate(g *graph.Graph) error {
+	n := g.N()
+	if p.NumVertices() != n {
+		return fmt.Errorf("schedule: plan covers %d vertices, graph has %d", p.NumVertices(), n)
+	}
+	layer := make([]int32, n)
+	for v := range layer {
+		layer[v] = -1
+	}
+	for i := 0; i < p.NumBatches(); i++ {
+		for _, v := range p.Batch(i) {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("schedule: batch %d contains out-of-range vertex %d", i, v)
+			}
+			if layer[v] >= 0 {
+				return fmt.Errorf("schedule: vertex %d appears in batches %d and %d", v, layer[v], i)
+			}
+			layer[v] = int32(i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if layer[v] < 0 {
+			return fmt.Errorf("schedule: vertex %d not scheduled", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if w > v && layer[w] == layer[v] {
+				return fmt.Errorf("schedule: edge {%d,%d} inside batch %d", v, w, layer[v])
+			}
+		}
+	}
+	seen := make([]bool, p.NumBatches())
+	for v := 0; v < n; v++ {
+		l := int(layer[v])
+		if l == 0 {
+			continue
+		}
+		for k := 0; k < l; k++ {
+			seen[k] = false
+		}
+		for _, w := range g.Neighbors(v) {
+			if layer[w] < layer[v] {
+				seen[layer[w]] = true
+			}
+		}
+		for k := 0; k < l; k++ {
+			if !seen[k] {
+				return fmt.Errorf("schedule: vertex %d in batch %d has no neighbor in earlier batch %d (batch %d was not maximal)", v, l, k, k)
+			}
+		}
+	}
+	return nil
+}
+
+// plannerPool backs the one-shot Batches entry point so bursts of calls
+// still amortize scratch across one another.
+var plannerPool = sync.Pool{New: func() any { return NewPlanner() }}
+
+// Batches peels g into independent execution batches and returns a
+// caller-owned Plan. Deterministic under opts.Seed. For sustained
+// high-throughput serving, hold a Planner instead — it returns its
+// internal plan without the defensive copy this function makes.
+func Batches(g *graph.Graph, opts Options) (*Plan, error) {
+	pl := plannerPool.Get().(*Planner)
+	defer plannerPool.Put(pl)
+	plan, err := pl.Batches(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.clone(), nil
+}
+
+// BatchStats is Batches reduced to its quality summary, for callers that
+// never read the plan itself.
+func BatchStats(g *graph.Graph, opts Options) (Stats, error) {
+	pl := plannerPool.Get().(*Planner)
+	defer plannerPool.Put(pl)
+	plan, err := pl.Batches(g, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return plan.Stats(), nil
+}
+
+// sequentialLayer reports whether the named algorithm peels layers on the
+// in-place view (sequential registry entries) rather than by simulating
+// radio rounds on a materialized residual subgraph.
+func sequentialLayer(name string) bool {
+	info, ok := mis.Describe(name)
+	return ok && info.Model == mis.ModelSequential
+}

@@ -1,0 +1,197 @@
+package schedule
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"radiomis/internal/graph"
+	"radiomis/internal/rng"
+)
+
+// propertyGraphs spans the generator families the acceptance criteria name
+// (G(n,p), preferential attachment, grid) plus degenerate shapes.
+func propertyGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	gs := map[string]*graph.Graph{
+		"empty":    graph.New(0),
+		"edgeless": graph.New(9),
+		"complete": graph.Complete(12),
+		"grid":     graph.Grid2D(8, 11),
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		gs["gnp-"+string(rune('a'+seed-1))] = graph.GNP(140, 8.0/140, rng.New(uint64(seed)))
+		gs["pa-"+string(rune('a'+seed-1))] = graph.PreferentialAttachment(140, 4, rng.New(uint64(10+seed)))
+	}
+	return gs
+}
+
+// TestBatchesInvariants is the property test of the acceptance criteria:
+// on every generator family and several seeds, the plan partitions the
+// vertices, every batch is independent, and the peeling is maximal —
+// all three checked by Plan.Validate, whose own failure modes are
+// covered by TestValidateRejects.
+func TestBatchesInvariants(t *testing.T) {
+	for name, g := range propertyGraphs(t) {
+		for _, seed := range []uint64{0, 1, 42} {
+			plan, err := Batches(g, Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if err := plan.Validate(g); err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestBatchesRadioAlgorithm runs the same invariants through a
+// radio-simulated per-layer algorithm.
+func TestBatchesRadioAlgorithm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radio layers simulate full runs")
+	}
+	for _, fam := range []string{"gnp", "grid", "prefattach"} {
+		f, err := graph.ParseFamily(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.Generate(f, 96, rng.New(5))
+		plan, err := Batches(g, Options{Algorithm: "cd", Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if err := plan.Validate(g); err != nil {
+			t.Errorf("%s: %v", fam, err)
+		}
+	}
+}
+
+func TestBatchesDeterministic(t *testing.T) {
+	g := graph.GNP(120, 0.06, rng.New(9))
+	a, err := Batches(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Batches(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Batches(), b.Batches()) {
+		t.Error("same seed produced different plans")
+	}
+}
+
+func TestPlannerReuseMatchesOneShot(t *testing.T) {
+	// One warm planner cycling over several graphs must produce exactly
+	// the plans fresh planners produce.
+	pl := NewPlanner()
+	defer pl.Close()
+	graphs := []*graph.Graph{
+		graph.GNP(90, 0.07, rng.New(2)),
+		graph.Cycle(7),
+		graph.Grid2D(9, 5),
+		graph.GNP(90, 0.07, rng.New(3)),
+	}
+	for round := 0; round < 3; round++ {
+		for i, g := range graphs {
+			warm, err := pl.Batches(g, Options{Seed: uint64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Batches(g, Options{Seed: uint64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(warm.Batches(), want.Batches()) {
+				t.Fatalf("round %d graph %d: warm planner diverged from one-shot", round, i)
+			}
+		}
+	}
+}
+
+func TestPlannerStats(t *testing.T) {
+	g := graph.Complete(6) // K6 peels into 6 singleton batches
+	plan, err := Batches(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats()
+	want := Stats{Batches: 6, MaxBatch: 1, MeanBatch: 1, Vertices: 6}
+	if s != want {
+		t.Errorf("Stats = %+v, want %+v", s, want)
+	}
+
+	e := graph.New(5) // edgeless: one batch of everything
+	plan, err = Batches(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan.Stats(); s.Batches != 1 || s.MaxBatch != 5 {
+		t.Errorf("edgeless Stats = %+v, want 1 batch of 5", s)
+	}
+}
+
+func TestBatchesUnknownAlgorithm(t *testing.T) {
+	if _, err := Batches(graph.Cycle(4), Options{Algorithm: "quantum"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBatchesCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Batches(graph.Cycle(12), Options{Ctx: ctx}); err == nil {
+		t.Fatal("canceled context not honored")
+	}
+}
+
+// TestValidateRejects feeds Validate hand-built broken plans so the
+// property tests above can rely on it catching each invariant violation.
+func TestValidateRejects(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	mk := func(batches ...[]int32) *Plan {
+		p := &Plan{}
+		p.reset(g.N())
+		for _, b := range batches {
+			p.appendBatch(b)
+		}
+		return p
+	}
+	cases := map[string]*Plan{
+		"missing vertex":   mk([]int32{0, 2}, []int32{1}),
+		"duplicate vertex": mk([]int32{0, 2}, []int32{1, 3, 0}),
+		"edge in batch":    mk([]int32{0, 1, 3}, []int32{2}),
+		"non-maximal peel": mk([]int32{0}, []int32{2}, []int32{1, 3}), // batch 0 missed 2 and 3
+		"out of range":     mk([]int32{0, 2}, []int32{1, 9}),
+	}
+	for name, plan := range cases {
+		if err := plan.Validate(g); err == nil {
+			t.Errorf("%s: Validate accepted a broken plan", name)
+		}
+	}
+	good := mk([]int32{0, 2}, []int32{1, 3})
+	if err := good.Validate(g); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestBatchesZeroAllocSteadyState pins the serving contract outside the
+// benchmark suite so plain `go test` catches regressions too.
+func TestBatchesZeroAllocSteadyState(t *testing.T) {
+	g := graph.GNP(256, 8.0/256, rng.New(1))
+	pl := NewPlanner()
+	defer pl.Close()
+	opts := Options{Seed: 4}
+	if _, err := pl.Batches(g, opts); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := pl.Batches(g, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm planner allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -45,6 +45,20 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 	if len(list.Params) == 0 {
 		t.Error("params list is empty")
 	}
+	// The batch scheduler's default layer algorithm must be discoverable:
+	// "linear" with the sequential execution model (no radio rounds).
+	var linear *mis.AlgorithmInfo
+	for i := range list.Algorithms {
+		if list.Algorithms[i].Name == "linear" {
+			linear = &list.Algorithms[i]
+		}
+	}
+	if linear == nil {
+		t.Fatal(`algorithm "linear" missing from discovery document`)
+	}
+	if linear.Model != mis.ModelSequential {
+		t.Errorf(`linear model = %q, want %q`, linear.Model, mis.ModelSequential)
+	}
 }
 
 // TestUnknownAlgorithmErrorListsKnown checks the submission-error

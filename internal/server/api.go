@@ -32,7 +32,7 @@ const SchemaVersion = "radiomis.server/v1"
 
 // Job kinds accepted by POST /v1/jobs.
 const (
-	// KindExperiment runs one registered reproduction experiment (E1–E13)
+	// KindExperiment runs one registered reproduction experiment (E1–E15)
 	// exactly as cmd/benchsuite would.
 	KindExperiment = "experiment"
 	// KindSolve runs one MIS algorithm repeatedly on a generated graph

@@ -5,23 +5,24 @@ import (
 	"time"
 )
 
-// resultCache is a fixed-capacity LRU mapping canonical request keys to
-// completed job results. It is not safe for concurrent use; the Manager
-// serializes access under its own mutex.
-type resultCache struct {
+// lruCache is a fixed-capacity LRU mapping canonical request keys to
+// completed results. It is not safe for concurrent use; callers (the
+// Manager for job results, the schedule path for plans) serialize access
+// under their own mutex.
+type lruCache[V any] struct {
 	capacity int
 	ll       *list.List // front = most recently used
 	byKey    map[string]*list.Element
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key      string
-	val      *JobResult
+	val      V
 	storedAt time.Time
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		capacity: capacity,
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
@@ -30,36 +31,37 @@ func newResultCache(capacity int) *resultCache {
 
 // Get returns the cached result for key and its age (time since it was
 // stored), promoting it to most recent.
-func (c *resultCache) Get(key string) (*JobResult, time.Duration, bool) {
+func (c *lruCache[V]) Get(key string) (V, time.Duration, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, 0, false
+		var zero V
+		return zero, 0, false
 	}
 	c.ll.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
+	e := el.Value.(*cacheEntry[V])
 	return e.val, time.Since(e.storedAt), true
 }
 
 // Put inserts or refreshes key, evicting the least recently used entry
 // when over capacity. A non-positive capacity disables the cache.
-func (c *resultCache) Put(key string, val *JobResult) {
+func (c *lruCache[V]) Put(key string, val V) {
 	if c.capacity <= 0 {
 		return
 	}
 	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*cacheEntry[V])
 		e.val = val
 		e.storedAt = time.Now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, storedAt: time.Now()})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val, storedAt: time.Now()})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		delete(c.byKey, oldest.Value.(*cacheEntry[V]).key)
 	}
 }
 
 // Len reports the number of cached results.
-func (c *resultCache) Len() int { return c.ll.Len() }
+func (c *lruCache[V]) Len() int { return c.ll.Len() }

@@ -39,6 +39,9 @@ func WithPprof() HandlerOption {
 //	GET    /v1/jobs/{id}/events stream progress as JSON lines (follows until
 //	                            the job is terminal; idle streams carry
 //	                            periodic {"ev":"heartbeat"} keep-alives)
+//	POST   /v1/schedule         peel a conflict graph into independent batches,
+//	                            synchronously (200 plan, 400 invalid); identical
+//	                            requests replay from an LRU plan cache
 //	GET    /v1/algorithms       discovery: registered algorithms + param knobs
 //	GET    /healthz             liveness probe + build information
 //	GET    /metrics             Prometheus text exposition (format 0.0.4)
@@ -80,6 +83,9 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(m, w, r)
+	})
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		handleSchedule(m, w, r)
 	})
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, AlgorithmCatalog())
@@ -190,6 +196,30 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		status = http.StatusAccepted
 	}
 	writeJSON(w, status, st)
+}
+
+// handleSchedule serves POST /v1/schedule: decode, plan synchronously,
+// respond. No job record is created — the endpoint is built for thousands
+// of small-graph calls per second, where the job machinery's bookkeeping
+// would dominate the planning work.
+func handleSchedule(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	res, err := m.Schedule(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {

@@ -105,7 +105,7 @@ type Manager struct {
 	jobs     map[string]*Job
 	order    []string        // job IDs in submission order
 	inflight map[string]*Job // canonical key → queued-or-running job
-	cache    *resultCache
+	cache    *lruCache[*JobResult]
 	queue    chan *Job
 	seq      int
 	draining bool
@@ -115,6 +115,10 @@ type Manager struct {
 	// they're bumped outside m.mu where convenient.
 	reg *telemetry.Registry
 	met managerMetrics
+
+	// sched serves POST /v1/schedule synchronously, outside the job
+	// machinery; it has its own mutex, plan cache, and planner free list.
+	sched *scheduler
 
 	wg sync.WaitGroup
 }
@@ -164,10 +168,11 @@ func New(opts Options) *Manager {
 		rootCancel: cancel,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
-		cache:      newResultCache(opts.CacheSize),
+		cache:      newLRUCache[*JobResult](opts.CacheSize),
 		queue:      make(chan *Job, opts.QueueDepth),
 		reg:        reg,
 		met:        newManagerMetrics(reg),
+		sched:      newScheduler(opts.CacheSize, reg),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -508,6 +513,7 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 // are aborted through their contexts. It returns ctx.Err() if the deadline
 // forced an abort.
 func (m *Manager) Shutdown(ctx context.Context) error {
+	defer m.sched.close() // release idle schedule planners (idempotent)
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()

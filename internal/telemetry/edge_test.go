@@ -31,6 +31,48 @@ func TestPrometheusEmptyHistogram(t *testing.T) {
 	}
 }
 
+// TestPrometheusCountHistogram checks UnitCount exposition: raw integer
+// `le` bounds, unscaled sum, and bucket placement of plain-count samples.
+func TestPrometheusCountHistogram(t *testing.T) {
+	reg := New()
+	h := reg.CountHistogram("batch_size", "Vertices per batch.")
+	for _, v := range []uint64{1, 3, 40, 700} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE batch_size histogram",
+		`batch_size_bucket{le="1"} 1`,
+		`batch_size_bucket{le="5"} 2`,
+		`batch_size_bucket{le="50"} 3`,
+		`batch_size_bucket{le="1000"} 4`,
+		`batch_size_bucket{le="+Inf"} 4`,
+		"batch_size_sum 744",
+		"batch_size_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCountHistogramUnitMismatchPanics pins the unit-consistency guard:
+// one name cannot be both a duration and a count histogram.
+func TestCountHistogramUnitMismatchPanics(t *testing.T) {
+	reg := New()
+	reg.Histogram("dur_seconds", "duration")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different unit did not panic")
+		}
+	}()
+	reg.CountHistogram("dur_seconds", "count")
+}
+
 // TestQuantileZeroCountSnapshot checks every quantile of an empty
 // histogram (and its snapshot) is 0 rather than NaN or a panic.
 func TestQuantileZeroCountSnapshot(t *testing.T) {

@@ -22,6 +22,12 @@ var expositionBounds = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
 }
 
+// countBounds are the `le` boundaries for UnitCount histograms — a 1–2.5–5
+// ladder over the batch counts and sizes the scheduling endpoint observes.
+var countBounds = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4): a `# HELP` and `# TYPE` header per
 // family followed by its samples. Families appear in registration order.
@@ -54,14 +60,20 @@ func writeFamily(w io.Writer, f *family) error {
 		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
 		return err
 	case KindHistogram:
-		return writeHistogram(w, f.name, f.hist.Snapshot())
+		return writeHistogram(w, f.name, f.unit, f.hist.Snapshot())
 	}
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, s HistogramSnapshot) error {
-	for _, bound := range expositionBounds {
-		cum := s.CumulativeAtOrBelow(uint64(bound * 1e9))
+func writeHistogram(w io.Writer, name string, unit HistUnit, s HistogramSnapshot) error {
+	// Duration histograms store nanoseconds and expose seconds; count
+	// histograms store and expose the raw values.
+	bounds, scale := expositionBounds, 1e9
+	if unit == UnitCount {
+		bounds, scale = countBounds, 1
+	}
+	for _, bound := range bounds {
+		cum := s.CumulativeAtOrBelow(uint64(bound * scale))
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
 			return err
 		}
@@ -69,7 +81,7 @@ func writeHistogram(w io.Writer, name string, s HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/1e9)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/scale)); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)

@@ -77,12 +77,26 @@ func (k Kind) String() string {
 	return "untyped"
 }
 
+// HistUnit selects how a histogram's raw uint64 observations are rendered
+// at exposition time.
+type HistUnit int
+
+const (
+	// UnitNanoseconds marks duration histograms: observations are
+	// nanoseconds, exposed in seconds under sub-second `le` bounds.
+	UnitNanoseconds HistUnit = iota
+	// UnitCount marks dimensionless histograms (sizes, cardinalities):
+	// observations are exposed as-is under integer `le` bounds.
+	UnitCount
+)
+
 // family is one registered metric family: a name, its help text, and
 // exactly one instrument.
 type family struct {
 	name string
 	help string
 	kind Kind
+	unit HistUnit // histograms only
 
 	counter *Counter
 	gauge   *Gauge
@@ -104,18 +118,21 @@ func New() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-// register resolves or creates the named family, enforcing kind
+// register resolves or creates the named family, enforcing kind and unit
 // consistency. Help text from the first registration wins.
-func (r *Registry) register(name, help string, kind Kind) *family {
+func (r *Registry) register(name, help string, kind Kind, unit HistUnit) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
 		if f.kind != kind {
 			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, f.kind, kind))
 		}
+		if f.unit != unit {
+			panic(fmt.Sprintf("telemetry: %q registered with unit %d, requested with %d", name, f.unit, unit))
+		}
 		return f
 	}
-	f := &family{name: name, help: help, kind: kind}
+	f := &family{name: name, help: help, kind: kind, unit: unit}
 	switch kind {
 	case KindCounter:
 		f.counter = &Counter{}
@@ -131,19 +148,26 @@ func (r *Registry) register(name, help string, kind Kind) *family {
 
 // Counter resolves (registering on first use) the named counter.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.register(name, help, KindCounter).counter
+	return r.register(name, help, KindCounter, UnitNanoseconds).counter
 }
 
 // Gauge resolves (registering on first use) the named gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return r.register(name, help, KindGauge).gauge
+	return r.register(name, help, KindGauge, UnitNanoseconds).gauge
 }
 
 // Histogram resolves (registering on first use) the named duration
 // histogram. By convention histogram names end in "_seconds"; observations
 // are recorded in nanoseconds and converted at exposition time.
 func (r *Registry) Histogram(name, help string) *Histogram {
-	return r.register(name, help, KindHistogram).hist
+	return r.register(name, help, KindHistogram, UnitNanoseconds).hist
+}
+
+// CountHistogram resolves (registering on first use) the named
+// dimensionless histogram: observations are plain counts (batch sizes,
+// cardinalities) exposed under integer `le` bounds rather than seconds.
+func (r *Registry) CountHistogram(name, help string) *Histogram {
+	return r.register(name, help, KindHistogram, UnitCount).hist
 }
 
 // LookupHistogram returns the named histogram if it has been registered,

@@ -50,6 +50,7 @@ import (
 	"radiomis/internal/mis"
 	"radiomis/internal/radio"
 	"radiomis/internal/rng"
+	"radiomis/internal/schedule"
 )
 
 // Re-exported core types. Graph is a simple undirected graph on vertices
@@ -216,6 +217,45 @@ func SolveNaiveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
 func SolveUnknownDelta(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "unknown-delta", Params: p, Seed: seed})
 }
+
+// SolveLinear runs the linear-time sequential min-degree greedy MIS — the
+// centralized O(n+m) baseline with no radio rounds, and the batch
+// scheduler's default per-layer algorithm.
+func SolveLinear(g *Graph, p Params, seed uint64) (*Result, error) {
+	return Solve(g, Spec{Algorithm: "linear", Params: p, Seed: seed})
+}
+
+// Batch scheduling types re-exported from the schedule subsystem: iterated
+// MIS peels a conflict graph into independent execution batches.
+type (
+	// BatchOptions selects the per-layer algorithm and seed of a SolveBatch
+	// call.
+	BatchOptions = schedule.Options
+	// BatchPlan is a computed batch schedule (an ordered partition into
+	// independent sets).
+	BatchPlan = schedule.Plan
+	// BatchStats summarizes a plan's batch quality.
+	BatchStats = schedule.Stats
+	// BatchPlanner computes plans with amortized scratch — zero
+	// steady-state allocations on the default algorithm.
+	BatchPlanner = schedule.Planner
+)
+
+// SolveBatch peels conflict graph g into independent execution batches by
+// iterated MIS: batch i is a maximal independent set of the graph left
+// after removing batches 0..i-1, so each batch can execute concurrently
+// and the batches run in sequence. The returned plan is caller-owned and
+// verified-correct by construction (Plan.Validate re-checks it if wanted).
+// For sustained many-small-graphs serving, use NewBatchPlanner.
+func SolveBatch(g *Graph, opts BatchOptions) (*BatchPlan, error) {
+	return schedule.Batches(g, opts)
+}
+
+// NewBatchPlanner returns an amortized batch planner: a warm planner
+// computes plan after plan with zero steady-state allocations on the
+// default (linear) per-layer algorithm. Not safe for concurrent use; the
+// returned plan is valid until the planner's next call.
+func NewBatchPlanner() *BatchPlanner { return schedule.NewPlanner() }
 
 // CongestResult is the outcome of a sleeping-CONGEST run (§1.4's
 // collision-free contrast model).

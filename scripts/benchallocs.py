@@ -1,28 +1,37 @@
 #!/usr/bin/env python3
-"""Check that telemetry collection adds no allocations to the engine.
+"""Check the repo's benchmark allocation contracts.
 
-Reads `go test -bench BenchmarkRun -benchmem` output (a file argument or
-stdin) and asserts that, for every workload size, the "perf" engine variant
-(pooled scheduler with a RunPerf sink attached) reports allocs/op no worse
-than the plain "pooled" variant. Worker-side buffer growth makes allocs/op
-mildly scheduling-dependent, so when the input holds several runs per
-variant (-count=N) the minimum is compared — noise only ever adds
-allocations — under a small relative slack.
+Default mode reads `go test -bench BenchmarkRun -benchmem` output (a file
+argument or stdin) and asserts that, for every workload size, the "perf"
+engine variant (pooled scheduler with a RunPerf sink attached) reports
+allocs/op no worse than the plain "pooled" variant. Worker-side buffer
+growth makes allocs/op mildly scheduling-dependent, so when the input
+holds several runs per variant (-count=N) the minimum is compared — noise
+only ever adds allocations — under a small relative slack.
 
-This is the coarse CI guard against gross telemetry regressions (a
-per-round or per-node allocation inflates allocs/op by thousands). The
-fine-grained zero-alloc contract — under one alloc per 100 rounds — is
-enforced deterministically by TestPerfDisabledAddsNoAllocs and
-TestPerfEnabledAddsNoPerRoundAllocs in internal/radio.
+With --solvebatch the input is `go test -bench BenchmarkSolveBatch
+-benchmem` output instead, and the check is the batch scheduler's serving
+contract: the warm "planner" variant must report exactly 0 allocs/op on
+every workload (minimum across -count repeats). A single steady-state
+allocation per call breaks the high-throughput schedule path's promise.
 
-Exit status: 0 if every workload is within slack (and at least one was
-seen), 1 otherwise.
+This is the coarse CI guard against gross regressions (a per-round or
+per-vertex allocation inflates allocs/op by thousands). The fine-grained
+contracts are enforced deterministically by TestPerfDisabledAddsNoAllocs /
+TestPerfEnabledAddsNoPerRoundAllocs in internal/radio and
+TestBatchesZeroAllocSteadyState in internal/schedule.
+
+Exit status: 0 if every workload passes (and at least one was seen), 1
+otherwise.
 """
 import re
 import sys
 
 LINE = re.compile(
     r"^BenchmarkRun/(?P<engine>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
+)
+SOLVE_LINE = re.compile(
+    r"^BenchmarkSolveBatch/(?P<variant>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
 )
 ALLOCS = re.compile(r"(\d+) allocs/op")
 
@@ -32,7 +41,49 @@ SLACK_ABS = 16
 SLACK_REL = 0.03
 
 
+def solvebatch_main(src):
+    """--solvebatch mode: the warm planner variant must be zero-alloc."""
+    seen = {}  # workload -> {variant: min allocs/op across repeats}
+    for line in src:
+        m = SOLVE_LINE.match(line.strip())
+        if not m:
+            continue
+        a = ALLOCS.search(m.group("metrics"))
+        if not a:
+            continue
+        work, variant, allocs = m.group("work"), m.group("variant"), int(a.group(1))
+        variants = seen.setdefault(work, {})
+        variants[variant] = min(variants.get(variant, allocs), allocs)
+
+    planner = {w: v["planner"] for w, v in seen.items() if "planner" in v}
+    if not planner:
+        print(
+            "benchallocs: no BenchmarkSolveBatch/planner lines found "
+            "(did you pass -benchmem?)",
+            file=sys.stderr,
+        )
+        return 1
+    ok = True
+    for work, allocs in sorted(planner.items()):
+        status = "ok" if allocs == 0 else "REGRESSION"
+        if allocs != 0:
+            ok = False
+        print(f"{status:10}  {work}: planner={allocs} allocs/op (want 0)")
+    if not ok:
+        print(
+            "benchallocs: the warm batch planner allocates per call — "
+            "the zero-allocation serving contract is broken",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchallocs: planner zero-alloc across {len(planner)} workloads")
+    return 0
+
+
 def main(argv):
+    if "--solvebatch" in argv:
+        argv = [a for a in argv if a != "--solvebatch"]
+        return solvebatch_main(open(argv[1]) if len(argv) > 1 else sys.stdin)
     src = open(argv[1]) if len(argv) > 1 else sys.stdin
     seen = {}  # workload -> {engine: min allocs/op across repeats}
     for line in src:

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Throughput smoke test for radiomisd's POST /v1/schedule.
+
+Usage: schedloadtest.py HOST:PORT [--calls N] [--min-rate R] [--n VERTICES]
+
+Drives N schedule requests over a handful of persistent HTTP connections
+(distinct seeds, so every call actually plans — no cache hits), validates
+every response (status 200, schema, a partition-sized plan), and asserts
+the sustained rate meets --min-rate calls/sec. The serving contract is
+thousands of small-graph calls per second; CI runs this with the default
+threshold of 1000.
+
+Exit status: 0 when every response validates and the rate clears the
+threshold, 1 otherwise.
+"""
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+
+SCHEMA = "radiomis.server/v1"
+
+
+def worker(host, port, seeds, n, results, idx):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    ok = 0
+    try:
+        for seed in seeds:
+            body = json.dumps({"family": "gnp", "n": n, "seed": seed})
+            conn.request(
+                "POST", "/v1/schedule", body, {"Content-Type": "application/json"}
+            )
+            resp = conn.getresponse()
+            data = resp.read()
+            if resp.status != 200:
+                results[idx] = (ok, f"seed {seed}: status {resp.status}: {data[:200]}")
+                return
+            doc = json.loads(data)
+            if doc.get("schema") != SCHEMA:
+                results[idx] = (ok, f"seed {seed}: schema {doc.get('schema')!r}")
+                return
+            scheduled = sum(len(b) for b in doc["batches"])
+            if scheduled != doc["n"] or doc["stats"]["vertices"] != doc["n"]:
+                results[idx] = (
+                    ok,
+                    f"seed {seed}: plan covers {scheduled} of {doc['n']} vertices",
+                )
+                return
+            ok += 1
+        results[idx] = (ok, None)
+    finally:
+        conn.close()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("addr", help="daemon address, host:port")
+    ap.add_argument("--calls", type=int, default=2000)
+    ap.add_argument("--min-rate", type=float, default=1000.0)
+    ap.add_argument("--n", type=int, default=64, help="vertices per conflict graph")
+    ap.add_argument("--conns", type=int, default=4, help="persistent connections")
+    args = ap.parse_args()
+    host, _, port = args.addr.partition(":")
+    port = int(port or 80)
+
+    # Warm-up call (planner free list, CSR cache, connection setup) outside
+    # the timed window.
+    warm = [None]
+    worker(host, port, [10**9], args.n, warm, 0)
+    if warm[0][1] is not None:
+        print(f"schedloadtest: warm-up failed: {warm[0][1]}", file=sys.stderr)
+        return 1
+
+    chunks = [list(range(i, args.calls, args.conns)) for i in range(args.conns)]
+    results = [None] * args.conns
+    threads = [
+        threading.Thread(target=worker, args=(host, port, chunk, args.n, results, i))
+        for i, chunk in enumerate(chunks)
+    ]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+
+    done = sum(r[0] for r in results)
+    for r in results:
+        if r[1] is not None:
+            print(f"schedloadtest: FAIL after {done} calls: {r[1]}", file=sys.stderr)
+            return 1
+    rate = done / elapsed if elapsed > 0 else float("inf")
+    verdict = "ok" if rate >= args.min_rate else "FAIL"
+    print(
+        f"schedloadtest: {verdict} — {done} calls in {elapsed:.2f}s = "
+        f"{rate:.0f} calls/sec (threshold {args.min_rate:.0f})"
+    )
+    return 0 if rate >= args.min_rate else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a `radiomis schedule -json` document externally.
+
+Usage: schedulecheck.py [FILE]   (stdin when FILE is omitted)
+
+The document carries the exact conflict-graph edge list alongside the
+plan, so this script re-checks the scheduler's invariants with no Go code
+in the loop:
+
+  1. partition     — every vertex of [0, n) appears in exactly one batch;
+  2. independence  — no edge has both endpoints in the same batch;
+  3. maximal peel  — a vertex in batch l has, for every earlier batch k,
+                     a neighbor in batch k (each layer was a *maximal*
+                     independent set of its residual);
+  4. stats         — the embedded stats match the batches.
+
+Exit status: 0 when every invariant holds, 1 otherwise.
+"""
+import json
+import sys
+
+SCHEMA = "radiomis.schedule/v1"
+
+
+def fail(msg):
+    print(f"schedulecheck: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    src = open(argv[1]) if len(argv) > 1 else sys.stdin
+    doc = json.load(src)
+
+    if doc.get("schema") != SCHEMA:
+        return fail(f"schema = {doc.get('schema')!r}, want {SCHEMA!r}")
+    n = doc["n"]
+    batches = doc["batches"]
+    adj = [set() for _ in range(n)]
+    for u, v in doc["edges"]:
+        adj[u].add(v)
+        adj[v].add(u)
+
+    # 1. partition
+    layer = [-1] * n
+    for i, batch in enumerate(batches):
+        for v in batch:
+            if not 0 <= v < n:
+                return fail(f"batch {i}: vertex {v} out of range [0,{n})")
+            if layer[v] != -1:
+                return fail(f"vertex {v} in batches {layer[v]} and {i}")
+            layer[v] = i
+    missing = [v for v in range(n) if layer[v] == -1]
+    if missing:
+        return fail(f"{len(missing)} vertices unscheduled (first: {missing[0]})")
+
+    # 2. independence
+    for i, batch in enumerate(batches):
+        members = set(batch)
+        for v in batch:
+            hit = adj[v] & members
+            if hit:
+                return fail(f"edge {{{v},{hit.pop()}}} inside batch {i}")
+
+    # 3. maximal peeling
+    for v in range(n):
+        earlier = {layer[w] for w in adj[v] if layer[w] < layer[v]}
+        for k in range(layer[v]):
+            if k not in earlier:
+                return fail(
+                    f"vertex {v} (batch {layer[v]}) has no neighbor in "
+                    f"earlier batch {k} — batch {k} was not maximal"
+                )
+
+    # 4. stats consistency
+    stats = doc["stats"]
+    sizes = [len(b) for b in batches]
+    want = {
+        "batches": len(batches),
+        "maxBatch": max(sizes, default=0),
+        "vertices": sum(sizes),
+    }
+    for key, val in want.items():
+        if stats[key] != val:
+            return fail(f"stats.{key} = {stats[key]}, want {val}")
+    mean = stats["meanBatch"]
+    want_mean = sum(sizes) / len(batches) if batches else 0.0
+    if abs(mean - want_mean) > 1e-9:
+        return fail(f"stats.meanBatch = {mean}, want {want_mean}")
+
+    print(
+        f"schedulecheck: ok — algorithm={doc['algorithm']} n={n} "
+        f"edges={len(doc['edges'])} batches={len(batches)} "
+        f"maxBatch={want['maxBatch']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
