@@ -11,7 +11,24 @@
 //	radiomisd -pprof              # also mount /debug/pprof/ profiling endpoints
 //	radiomisd -log-format json -log-level debug
 //	radiomisd -trace=false        # disable distributed tracing
+//	radiomisd -data-dir /var/lib/radiomisd          # durable WAL job store
+//	radiomisd -coordinator http://w1:8347,http://w2:8347  # cluster coordinator
 //	radiomisd -version            # print build information and exit
+//
+// With -data-dir, every accepted job and state transition is appended to
+// a write-ahead log under the directory; on restart the daemon replays
+// the log, re-enqueuing jobs that were queued or running when it died
+// (the engine is deterministic per seed, so they re-execute to the same
+// results). Without the flag the daemon is purely in-memory, exactly as
+// before.
+//
+// With -coordinator, the daemon becomes a cluster coordinator: solve jobs
+// with ≥ 2 trials are split into seed-range shards and fanned out to the
+// given worker daemons (ordinary radiomisd processes) over the v1 API,
+// with shards stolen from workers that die mid-job; merged results are
+// bit-identical to a single-node run. GET /v1/cluster reports the
+// coordinator's view of its workers. Note the worker list rides on
+// -coordinator itself: -workers has always been the executor pool size.
 //
 // The daemon traces by default: every /v1 request runs under a root span
 // (continuing an inbound W3C traceparent), jobs hang their span trees
@@ -34,11 +51,15 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"radiomis/internal/cluster"
 	"radiomis/internal/logx"
 	"radiomis/internal/server"
+	"radiomis/internal/store"
+	"radiomis/internal/telemetry"
 	"radiomis/internal/trace"
 )
 
@@ -61,6 +82,12 @@ func run(args []string) error {
 		traceOn      = fs.Bool("trace", true, "trace requests and jobs (see GET /debug/traces)")
 		traceBuffer  = fs.Int("trace-buffer", trace.DefaultCapacity, "recent-span ring capacity")
 		heartbeat    = fs.Duration("event-heartbeat", 15*time.Second, "keep-alive interval for idle event streams (negative disables)")
+		dataDir      = fs.String("data-dir", "", "directory for the durable WAL job store (empty = in-memory only)")
+		walSegBytes  = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 8 MiB)")
+		walSync      = fs.Bool("wal-sync", false, "fsync the WAL after every append (survives power loss, not just crashes)")
+		coordinator  = fs.String("coordinator", "", "comma-separated worker daemon URLs; non-empty runs this daemon as a cluster coordinator")
+		shardsPer    = fs.Int("shards-per-worker", 2, "coordinator fan-out granularity: max shards per worker per job")
+		liveness     = fs.Duration("cluster-liveness", 30*time.Second, "coordinator declares a worker dead after this much event-stream silence")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = fs.String("log-format", "text", "log format: text or json")
 		version      = fs.Bool("version", false, "print build information and exit")
@@ -102,6 +129,48 @@ func run(args []string) error {
 	if *traceOn {
 		tracer = trace.New(*traceBuffer)
 	}
+
+	// One registry serves /metrics for every subsystem: the job manager,
+	// the WAL store, and the cluster coordinator all register on it.
+	reg := telemetry.New()
+
+	var st *store.Log
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{
+			SegmentBytes: *walSegBytes,
+			Sync:         *walSync,
+			Metrics:      reg,
+		})
+		if err != nil {
+			return err
+		}
+		log.Info("wal open", "dataDir", *dataDir, "jobs", len(st.Jobs()), "tornTail", st.TornTail())
+	}
+
+	var coord *cluster.Coordinator
+	var executor server.ExecuteFunc
+	if *coordinator != "" {
+		urls := strings.Split(*coordinator, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		var err error
+		coord, err = cluster.New(cluster.Options{
+			Workers:         urls,
+			ShardsPerWorker: *shardsPer,
+			Liveness:        *liveness,
+			Registry:        reg,
+			Logger:          log,
+		})
+		if err != nil {
+			return err
+		}
+		executor = coord.Executor()
+		log.Info("coordinator mode", "workers", urls,
+			"shardsPerWorker", *shardsPer, "liveness", *liveness)
+	}
+
 	mgr := server.New(server.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -109,10 +178,16 @@ func run(args []string) error {
 		Tracer:         tracer,
 		Logger:         log,
 		EventHeartbeat: *heartbeat,
+		Executor:       executor,
+		Store:          st,
+		Registry:       reg,
 	})
 	var hopts []server.HandlerOption
 	if *pprofOn {
 		hopts = append(hopts, server.WithPprof())
+	}
+	if coord != nil {
+		hopts = append(hopts, server.WithClusterStatus(func() any { return coord.Status() }))
 	}
 	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr, hopts...)}
 

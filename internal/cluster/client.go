@@ -1,0 +1,287 @@
+// Package cluster turns a fleet of radiomisd daemons into one logical
+// service: a coordinator daemon splits repeat-trial solve jobs into
+// seed-range shards, dispatches them to worker daemons over the ordinary
+// v1 HTTP API, watches each shard's event stream for liveness (the
+// /events heartbeats double as a failure detector), steals unfinished
+// shards from dead or stalled workers, and merges shard results into a
+// response bit-identical to a single-node run — per-trial seeds are
+// derived from the global trial index, so where a trial executes cannot
+// change what it computes.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"radiomis/internal/retry"
+	"radiomis/internal/server"
+	"radiomis/internal/trace"
+)
+
+// StatusError is a non-2xx daemon response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: worker returned %d: %s", e.Code, e.Message)
+}
+
+// ErrStalled is returned by WaitJob when a worker's event stream goes
+// silent past the heartbeat-liveness window: the worker is presumed dead
+// or wedged and the shard should be stolen.
+var ErrStalled = errors.New("cluster: worker event stream stalled past liveness window")
+
+// Client is a typed client for the radiomisd v1 API, built for
+// coordinator→worker fan-out: submissions retry with exponential backoff
+// and jitter (honoring 429 Retry-After), every request propagates the
+// caller's W3C traceparent so one trace spans coordinator, worker, and
+// engine, and WaitJob follows the job's event stream with a
+// heartbeat-driven liveness deadline.
+type Client struct {
+	base   string
+	http   *http.Client
+	retry  retry.Policy
+	rand01 func() float64
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (shared
+// transports, test servers).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetryPolicy replaces the submit retry schedule.
+func WithRetryPolicy(p retry.Policy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithRand injects the jitter randomness source (tests pin it).
+func WithRand(rand01 func() float64) ClientOption {
+	return func(c *Client) { c.rand01 = rand01 }
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://10.0.0.7:8347"; a scheme-less host:port gets http://).
+func NewClient(base string, opts ...ClientOption) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  &http.Client{},
+		retry: retry.Policy{InitialDelay: 200 * time.Millisecond, MaxDelay: 3 * time.Second, Multiplier: 2, Jitter: 0.2, MaxAttempts: 5},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the daemon base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// inject adds the traceparent header for the span riding ctx, if any, so
+// the worker daemon continues the coordinator's trace.
+func inject(ctx context.Context, h http.Header) {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		if sc := sp.Context(); !sc.IsZero() {
+			h.Set(trace.TraceparentHeader, sc.Traceparent())
+		}
+	}
+}
+
+// doJSON performs one request and decodes a 2xx JSON body into out.
+// Non-2xx responses come back as *StatusError (with any Retry-After
+// parsed onto the retryable error by the caller).
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: marshal request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	inject(ctx, req.Header)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg := readErrorMessage(resp.Body)
+		serr := &StatusError{Code: resp.StatusCode, Message: msg}
+		if after, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return retry.WithAfter(serr, after)
+		}
+		return serr
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func readErrorMessage(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// Submit posts a job, retrying transient failures (connection errors,
+// 429 backpressure — sleeping at least any Retry-After the daemon sent —
+// and 5xx) under the client's backoff policy. 4xx responses other than
+// 429 are permanent: the request itself is wrong and no retry fixes it.
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (*server.JobStatus, error) {
+	var st server.JobStatus
+	err := retry.Do(ctx, c.retry, c.rand01, func(ctx context.Context) error {
+		err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", req, &st)
+		var serr *StatusError
+		if errors.As(err, &serr) && serr.Code >= 400 && serr.Code < 500 && serr.Code != http.StatusTooManyRequests {
+			return retry.Permanent(err)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status (no retries; callers loop).
+func (c *Client) Status(ctx context.Context, id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a job (best-effort; a coordinator
+// calls it on shards it has abandoned so workers stop burning CPU).
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Ready probes GET /readyz; nil means the daemon accepts work.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// WaitJob follows a job's event stream until it reaches a terminal
+// state, then returns the final status (with result). Every stream line
+// — progress, perf, and the idle-stream heartbeats — resets the liveness
+// deadline; a stream silent for longer than liveness means the worker
+// died or wedged mid-shard, and WaitJob returns ErrStalled so the caller
+// steals the work. A stream that ends early (worker restart, connection
+// loss) falls back to one status probe before reporting the error, in
+// case the job finished in the gap.
+func (c *Client) WaitJob(ctx context.Context, id string, liveness time.Duration) (*server.JobStatus, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	inject(ctx, req.Header)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return c.statusFallback(ctx, id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Message: readErrorMessage(resp.Body)}
+	}
+
+	type lineOrErr struct {
+		line []byte
+		err  error
+	}
+	lines := make(chan lineOrErr)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			select {
+			case lines <- lineOrErr{line: append([]byte(nil), sc.Bytes()...)}:
+			case <-sctx.Done():
+				return
+			}
+		}
+		err := sc.Err()
+		if err == nil {
+			err = io.EOF
+		}
+		select {
+		case lines <- lineOrErr{err: err}:
+		case <-sctx.Done():
+		}
+	}()
+
+	timer := time.NewTimer(liveness)
+	defer timer.Stop()
+	for {
+		select {
+		case lo := <-lines:
+			if lo.err != nil {
+				// Stream ended without a terminal event; the job may have
+				// finished in the gap (worker drained the connection).
+				return c.statusFallback(ctx, id, lo.err)
+			}
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(liveness)
+			var ev struct {
+				Ev    string `json:"ev"`
+				State string `json:"state"`
+			}
+			if json.Unmarshal(lo.line, &ev) != nil {
+				continue
+			}
+			if ev.Ev == "state" && (ev.State == server.StateDone || ev.State == server.StateFailed || ev.State == server.StateCanceled) {
+				return c.Status(ctx, id)
+			}
+		case <-timer.C:
+			return nil, fmt.Errorf("%w (silent > %v)", ErrStalled, liveness)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// statusFallback probes the job status once after a broken event stream;
+// a terminal answer wins, anything else surfaces streamErr.
+func (c *Client) statusFallback(ctx context.Context, id string, streamErr error) (*server.JobStatus, error) {
+	st, err := c.Status(ctx, id)
+	if err == nil && (st.State == server.StateDone || st.State == server.StateFailed || st.State == server.StateCanceled) {
+		return st, nil
+	}
+	return nil, fmt.Errorf("cluster: event stream broke before job %s finished: %w", id, streamErr)
+}

@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"radiomis/internal/retry"
+	"radiomis/internal/server"
+	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
+)
+
+// newWorker starts a real radiomisd daemon on an httptest server with a
+// fast event heartbeat, so coordinator liveness tests run quickly.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	m := server.New(server.Options{Workers: 2, EventHeartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(server.NewHandler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return ts
+}
+
+// fastRetry keeps dead-worker detection in the millisecond range.
+var fastRetry = retry.Policy{
+	InitialDelay: time.Millisecond,
+	MaxDelay:     5 * time.Millisecond,
+	Multiplier:   2,
+	Jitter:       0, // deterministic under test
+	MaxAttempts:  2,
+}
+
+func solveReq(t *testing.T, trials int) server.JobRequest {
+	t.Helper()
+	req := server.JobRequest{Kind: server.KindSolve, Algorithm: "cd", N: 40, Trials: trials, Seed: 7}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// mustJSON canonicalizes a result for bit-identical comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestFanoutBitIdenticalToSingleNode(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c, err := New(Options{
+		Workers:         []string{w1.URL, w2.URL},
+		ShardsPerWorker: 2,
+		Liveness:        5 * time.Second,
+		Retry:           fastRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := c.Executor()
+
+	for _, rows := range []bool{false, true} {
+		req := solveReq(t, 8)
+		req.Rows = rows
+		want, err := server.ExecuteLocal(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec(context.Background(), req)
+		if err != nil {
+			t.Fatalf("rows=%v: fan-out: %v", rows, err)
+		}
+		if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+			t.Errorf("rows=%v: merged result differs from single node:\n got %s\nwant %s", rows, g, w)
+		}
+		if rows && len(got.Solve.Rows) != req.Trials {
+			t.Errorf("rows=%v: got %d rows, want %d", rows, len(got.Solve.Rows), req.Trials)
+		}
+	}
+
+	st := c.Status()
+	if st.Fanouts != 2 {
+		t.Errorf("Fanouts = %d, want 2", st.Fanouts)
+	}
+	if st.ShardsStolen != 0 {
+		t.Errorf("ShardsStolen = %d, want 0", st.ShardsStolen)
+	}
+	for _, w := range st.Workers {
+		if !w.Live {
+			t.Errorf("worker %s not live: %s", w.URL, w.LastError)
+		}
+	}
+}
+
+func TestFanoutStealsShardsFromDeadWorker(t *testing.T) {
+	live := newWorker(t)
+	// A listener that was closed before the test: connections are refused
+	// immediately, like a worker that was SIGKILLed.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	reg := telemetry.New()
+	c, err := New(Options{
+		Workers:         []string{dead.URL, live.URL},
+		ShardsPerWorker: 2,
+		Liveness:        5 * time.Second,
+		Retry:           fastRetry,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := solveReq(t, 8)
+	want, err := server.ExecuteLocal(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Executor()(context.Background(), req)
+	if err != nil {
+		t.Fatalf("fan-out with dead worker: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Errorf("result with dead worker differs from single node:\n got %s\nwant %s", g, w)
+	}
+
+	st := c.Status()
+	if st.ShardsStolen == 0 {
+		t.Error("ShardsStolen = 0, want ≥ 1 (dead worker's shard must be stolen)")
+	}
+	var deadInfo, liveInfo *WorkerStatus
+	for i := range st.Workers {
+		switch st.Workers[i].URL {
+		case dead.URL:
+			deadInfo = &st.Workers[i]
+		case live.URL:
+			liveInfo = &st.Workers[i]
+		}
+	}
+	if deadInfo == nil || liveInfo == nil {
+		t.Fatalf("status missing workers: %+v", st.Workers)
+	}
+	if deadInfo.Live {
+		t.Error("dead worker still marked live")
+	}
+	if deadInfo.LastError == "" {
+		t.Error("dead worker has no LastError")
+	}
+	if liveInfo.ShardsDone == 0 {
+		t.Error("live worker completed no shards")
+	}
+	if ctr, ok := reg.LookupCounter("radiomisd_cluster_shards_stolen_total"); !ok || ctr.Value() == 0 {
+		t.Errorf("radiomisd_cluster_shards_stolen_total not incremented (found=%v)", ok)
+	}
+}
+
+func TestFanoutStealsShardsFromWedgedWorker(t *testing.T) {
+	live := newWorker(t)
+	// A worker that accepts shards and then never makes progress: the
+	// submit succeeds, but the event stream goes silent. The coordinator
+	// must hit the liveness deadline, cancel the abandoned shard job, and
+	// steal the work.
+	var canceled atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONT(w, server.JobStatus{ID: "j000001", State: server.StateRunning})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		canceled.Store(true)
+		writeJSONT(w, server.JobStatus{ID: r.PathValue("id"), State: server.StateCanceled})
+	})
+	wedged := httptest.NewServer(mux)
+	defer wedged.Close()
+
+	c, err := New(Options{
+		Workers:  []string{wedged.URL, live.URL},
+		Liveness: 200 * time.Millisecond,
+		Retry:    fastRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := solveReq(t, 8)
+	want, err := server.ExecuteLocal(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Executor()(context.Background(), req)
+	if err != nil {
+		t.Fatalf("fan-out with wedged worker: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Errorf("result with wedged worker differs from single node:\n got %s\nwant %s", g, w)
+	}
+	if st := c.Status(); st.ShardsStolen == 0 {
+		t.Error("ShardsStolen = 0, want ≥ 1 (wedged worker's shard must be stolen)")
+	}
+	// Cancel is fired async right after the stall; give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for !canceled.Load() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !canceled.Load() {
+		t.Error("abandoned shard job was never canceled on the wedged worker")
+	}
+}
+
+func TestExecutorFallsBackForUnshardedWork(t *testing.T) {
+	calls := 0
+	fallback := func(ctx context.Context, req server.JobRequest) (*server.JobResult, error) {
+		calls++
+		return &server.JobResult{}, nil
+	}
+	// No daemon listens on the worker URL; sharded work would fail loudly.
+	c, err := New(Options{Workers: []string{"http://127.0.0.1:1"}, Fallback: fallback, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := c.Executor()
+
+	oneTrial := solveReq(t, 1)
+	if _, err := exec(context.Background(), oneTrial); err != nil {
+		t.Fatal(err)
+	}
+	exp := server.JobRequest{Kind: server.KindExperiment, Experiment: "E2", Seed: 1}
+	if err := exp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(context.Background(), exp); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("fallback calls = %d, want 2 (single-trial solve + experiment)", calls)
+	}
+	if st := c.Status(); st.LocalExecutions != 2 {
+		t.Errorf("LocalExecutions = %d, want 2", st.LocalExecutions)
+	}
+}
+
+func TestFanoutDegradesToLocalWhenAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c, err := New(Options{Workers: []string{dead.URL}, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := solveReq(t, 4)
+	want, err := server.ExecuteLocal(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Executor()(context.Background(), req)
+	if err != nil {
+		t.Fatalf("executor must degrade to local execution, got error: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Errorf("degraded result differs from single node:\n got %s\nwant %s", g, w)
+	}
+	if st := c.Status(); st.LocalExecutions != 1 {
+		t.Errorf("LocalExecutions = %d, want 1", st.LocalExecutions)
+	}
+}
+
+func TestShardJobFailureIsFatal(t *testing.T) {
+	// A worker that accepts the job, then reports it failed: stealing
+	// cannot fix a job that executes and fails, so the fan-out must abort
+	// without falling back.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONT(w, server.JobStatus{ID: "j000001", State: server.StateFailed, Error: "boom"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c, err := New(Options{Workers: []string{ts.URL}, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Executor()(context.Background(), solveReq(t, 4))
+	if err == nil {
+		t.Fatal("want fan-out error for failed shard job, got nil")
+	}
+	if !isFatal(err) {
+		t.Errorf("error not fatal: %v", err)
+	}
+}
+
+func TestWaitJobStalledStream(t *testing.T) {
+	// The events endpoint sends headers, then goes silent — a wedged
+	// worker. WaitJob must give up after the liveness window.
+	mux := http.NewServeMux()
+	block := make(chan struct{})
+	defer close(block)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	start := time.Now()
+	_, err := cl.WaitJob(context.Background(), "j000001", 100*time.Millisecond)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stall detection took %v", elapsed)
+	}
+}
+
+func TestClientPropagatesTraceparent(t *testing.T) {
+	var got string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(trace.TraceparentHeader)
+		writeJSONT(w, server.JobStatus{ID: "j000001", State: server.StateDone})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tr := trace.NewSeeded(16, 42)
+	ctx, sp := tr.Start(context.Background(), "test.root")
+	defer sp.End()
+
+	cl := NewClient(ts.URL, WithRetryPolicy(fastRetry))
+	if _, err := cl.Submit(ctx, server.JobRequest{Kind: server.KindSolve}); err != nil {
+		t.Fatal(err)
+	}
+	want := sp.Context().Traceparent()
+	if got != want {
+		t.Errorf("worker saw traceparent %q, want %q", got, want)
+	}
+}
+
+func TestPartitionTrials(t *testing.T) {
+	for _, tc := range []struct {
+		trials, want int
+		sizes        []int
+	}{
+		{trials: 8, want: 4, sizes: []int{2, 2, 2, 2}},
+		{trials: 7, want: 3, sizes: []int{3, 2, 2}},
+		{trials: 2, want: 8, sizes: []int{1, 1}},
+		{trials: 5, want: 1, sizes: []int{5}},
+		{trials: 1, want: 0, sizes: []int{1}},
+	} {
+		shards := partitionTrials(tc.trials, tc.want)
+		if len(shards) != len(tc.sizes) {
+			t.Errorf("partitionTrials(%d, %d) = %d shards, want %d", tc.trials, tc.want, len(shards), len(tc.sizes))
+			continue
+		}
+		off := 0
+		for i, sh := range shards {
+			if sh.off != off || sh.n != tc.sizes[i] {
+				t.Errorf("partitionTrials(%d, %d)[%d] = {off %d, n %d}, want {off %d, n %d}",
+					tc.trials, tc.want, i, sh.off, sh.n, off, tc.sizes[i])
+			}
+			off += sh.n
+		}
+		if off != tc.trials {
+			t.Errorf("partitionTrials(%d, %d) covers %d trials", tc.trials, tc.want, off)
+		}
+	}
+}
+
+func writeJSONT(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("marshal test response: %v", err))
+	}
+	w.Write(b)
+}

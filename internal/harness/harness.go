@@ -78,9 +78,15 @@ func (a *Aggregate) Names() []string {
 type Options struct {
 	// Trials is the number of runs (required, ≥ 1).
 	Trials int
-	// Seed derives per-trial seeds (trial i uses rng.Mix(Seed, i)), so
-	// experiment results are reproducible.
+	// Seed derives per-trial seeds (trial i uses rng.Mix(Seed, SeedOffset+i)),
+	// so experiment results are reproducible.
 	Seed uint64
+	// SeedOffset shifts the trial-index stream: trial i of this batch is
+	// globally trial SeedOffset+i. A coordinator sharding a Trials=N job
+	// across workers hands shard [off, off+k) Options{Trials: k, Seed,
+	// SeedOffset: off} and gets bit-identical per-trial seeds to a
+	// single-node run. Zero (the default) is the historical behavior.
+	SeedOffset int
 	// Parallelism caps concurrent trials; 0 means GOMAXPROCS.
 	Parallelism int
 }
@@ -101,6 +107,9 @@ type Options struct {
 func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) {
 	if opts.Trials < 1 {
 		return nil, fmt.Errorf("harness: Trials = %d, want ≥ 1", opts.Trials)
+	}
+	if opts.SeedOffset < 0 {
+		return nil, fmt.Errorf("harness: SeedOffset = %d, want ≥ 0", opts.SeedOffset)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -171,7 +180,7 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 				if trialHist != nil {
 					start = time.Now()
 				}
-				seed := rng.Mix(opts.Seed, uint64(i))
+				seed := rng.Mix(opts.Seed, uint64(opts.SeedOffset+i))
 				fctx := wctx
 				var sp *trace.Span
 				if tracer != nil {

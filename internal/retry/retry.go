@@ -1,0 +1,188 @@
+// Package retry is the repo's one implementation of retry with
+// exponential backoff and jitter. Both halves of the daemon's
+// backpressure story share it: clients of radiomisd's 429/Retry-After
+// responses (the cluster client fanning shards out to workers, scripts,
+// future SDKs) compute their sleep schedule here, and servers use
+// RetryAfter/ParseRetryAfter to speak the same header dialect.
+//
+// The package is deliberately deterministic under test: every jittered
+// decision flows through an injectable rand01 source, so unit tests pin
+// the exact delay sequence a policy produces.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy describes an exponential-backoff schedule with multiplicative
+// jitter. The zero value is usable and means DefaultPolicy.
+type Policy struct {
+	// InitialDelay is the base delay before the first retry (default 100ms).
+	InitialDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5s).
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor (default 2).
+	Multiplier float64
+	// Jitter is the relative jitter width: each delay is scaled by a
+	// uniform factor in [1-Jitter, 1+Jitter] (default 0.2; 0 disables,
+	// negative also disables).
+	Jitter float64
+	// MaxAttempts bounds the total number of attempts, including the
+	// first (default 0 = unbounded; the context bounds the loop instead).
+	MaxAttempts int
+}
+
+// DefaultPolicy is the schedule used where the caller does not care:
+// 100ms growing 2x to a 5s ceiling with ±20% jitter, unbounded attempts.
+var DefaultPolicy = Policy{
+	InitialDelay: 100 * time.Millisecond,
+	MaxDelay:     5 * time.Second,
+	Multiplier:   2,
+	Jitter:       0.2,
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.InitialDelay <= 0 {
+		p.InitialDelay = DefaultPolicy.InitialDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultPolicy.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultPolicy.Multiplier
+	}
+	return p
+}
+
+// Delay returns the jittered backoff before retry number attempt
+// (attempt 0 is the delay after the first failure). rand01 supplies
+// uniform values in [0, 1); nil uses the global math/rand source. Delay
+// is pure given (p, attempt, rand01 outputs), so injected sources make
+// schedules fully deterministic.
+func (p Policy) Delay(attempt int, rand01 func() float64) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.InitialDelay)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		if rand01 == nil {
+			rand01 = rand.Float64
+		}
+		d *= 1 - p.Jitter + 2*p.Jitter*rand01()
+	}
+	return time.Duration(d)
+}
+
+// permanent wraps an error to mark it non-retryable.
+type permanent struct{ err error }
+
+func (p *permanent) Error() string { return p.err.Error() }
+func (p *permanent) Unwrap() error { return p.err }
+
+// Permanent marks err as non-retryable: Do stops immediately and returns
+// the wrapped error. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanent{err: err}
+}
+
+// afterHint wraps an error with a server-provided earliest-retry delay
+// (an HTTP Retry-After, a queue-full hint). Do sleeps at least that long
+// before the next attempt, instead of only the computed backoff.
+type afterHint struct {
+	err   error
+	delay time.Duration
+}
+
+func (a *afterHint) Error() string { return a.err.Error() }
+func (a *afterHint) Unwrap() error { return a.err }
+
+// WithAfter attaches a server-provided minimum delay hint to a retryable
+// error. A nil err stays nil.
+func WithAfter(err error, delay time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterHint{err: err, delay: delay}
+}
+
+// ParseRetryAfter parses an HTTP Retry-After header value: either a
+// non-negative integer number of seconds or an HTTP date. It reports
+// false for absent or malformed values.
+func ParseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// p.MaxAttempts, or ctx is done. Between attempts it sleeps the policy's
+// jittered backoff, raised to any WithAfter hint on the last error.
+// rand01 supplies jitter randomness (nil = global math/rand). The
+// returned error is the last attempt's (unwrapped of retry markers),
+// or ctx.Err() when the context ended the loop.
+func Do(ctx context.Context, p Policy, rand01 func() float64, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanent
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
+			return lastErr
+		}
+		delay := p.Delay(attempt, rand01)
+		var hint *afterHint
+		if errors.As(err, &hint) && hint.delay > delay {
+			delay = hint.delay
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return lastErr
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// seq returns a rand01 source that replays the given values in order.
+func seq(t *testing.T, vals ...float64) func() float64 {
+	t.Helper()
+	i := 0
+	return func() float64 {
+		if i >= len(vals) {
+			t.Fatalf("rand01 called %d times, only %d values injected", i+1, len(vals))
+		}
+		v := vals[i]
+		i++
+		return v
+	}
+}
+
+func TestDelayDeterministicUnderInjectedRand(t *testing.T) {
+	p := Policy{InitialDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.2}
+	// rand01 = 0.5 means jitter factor exactly 1.0: pure exponential.
+	mid := func() float64 { return 0.5 }
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, mid); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Jitter edges: rand01 = 0 → ×0.8, rand01 → 1 → ×1.2.
+	if got := p.Delay(0, func() float64 { return 0 }); got != 80*time.Millisecond {
+		t.Errorf("low-jitter Delay(0) = %v, want 80ms", got)
+	}
+	if got := p.Delay(0, func() float64 { return 1 }); got != 120*time.Millisecond {
+		t.Errorf("high-jitter Delay(0) = %v, want 120ms", got)
+	}
+	// Two identical injected sequences produce identical schedules.
+	a := seq(t, 0.1, 0.9, 0.4)
+	b := seq(t, 0.1, 0.9, 0.4)
+	for attempt := 0; attempt < 3; attempt++ {
+		if da, db := p.Delay(attempt, a), p.Delay(attempt, b); da != db {
+			t.Errorf("attempt %d: schedules diverged: %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+func TestDelayNoJitterNeedsNoRand(t *testing.T) {
+	p := Policy{InitialDelay: 50 * time.Millisecond, MaxDelay: time.Second, Multiplier: 3, Jitter: 0}
+	// nil rand01 must not be consulted when jitter is off.
+	if got := p.Delay(2, nil); got != 450*time.Millisecond {
+		t.Errorf("Delay(2) = %v, want 450ms", got)
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, func() float64 { return 0.5 }); got != DefaultPolicy.InitialDelay {
+		t.Errorf("zero policy Delay(0) = %v, want %v", got, DefaultPolicy.InitialDelay)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{InitialDelay: time.Microsecond, MaxDelay: time.Millisecond, Multiplier: 2, Jitter: 0}
+	calls := 0
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		if calls < 4 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{InitialDelay: time.Microsecond, Jitter: 0}
+	calls := 0
+	base := errors.New("bad request")
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapping: %w", base))
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (permanent must not retry)", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Errorf("err = %v, want wrapped base error", err)
+	}
+}
+
+func TestDoMaxAttempts(t *testing.T) {
+	p := Policy{InitialDelay: time.Microsecond, Jitter: 0, MaxAttempts: 3}
+	calls := 0
+	sentinel := errors.New("always failing")
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestDoHonorsContextCancellation(t *testing.T) {
+	p := Policy{InitialDelay: time.Hour, Jitter: 0} // would sleep forever
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("transient")
+	attempted := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		first := true
+		done <- Do(ctx, p, nil, func(context.Context) error {
+			if first {
+				first = false
+				close(attempted)
+			}
+			return sentinel
+		})
+	}()
+	<-attempted // cancel only once the first attempt has failed
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Errorf("err = %v, want last attempt error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after context cancellation")
+	}
+}
+
+func TestDoRaisesDelayToAfterHint(t *testing.T) {
+	p := Policy{InitialDelay: time.Microsecond, Jitter: 0, MaxAttempts: 2}
+	start := time.Now()
+	hint := 50 * time.Millisecond
+	Do(context.Background(), p, nil, func(context.Context) error {
+		return WithAfter(errors.New("queue full"), hint)
+	})
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Errorf("Do slept %v, want ≥ %v (Retry-After hint)", elapsed, hint)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("3"); !ok || d != 3*time.Second {
+		t.Errorf("ParseRetryAfter(3) = %v, %v", d, ok)
+	}
+	if _, ok := ParseRetryAfter(""); ok {
+		t.Error("empty header parsed")
+	}
+	if _, ok := ParseRetryAfter("-1"); ok {
+		t.Error("negative seconds parsed")
+	}
+	if _, ok := ParseRetryAfter("soon"); ok {
+		t.Error("garbage parsed")
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(future); !ok || d < 80*time.Second || d > 91*time.Second {
+		t.Errorf("ParseRetryAfter(http-date) = %v, %v", d, ok)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(past); !ok || d != 0 {
+		t.Errorf("ParseRetryAfter(past date) = %v, %v, want 0, true", d, ok)
+	}
+	if Permanent(nil) != nil || WithAfter(nil, time.Second) != nil {
+		t.Error("nil error wrappers must stay nil")
+	}
+}

@@ -77,6 +77,20 @@ type JobRequest struct {
 	// identically, so legacy requests keep their historical cache keys.
 	Faults *faults.Profile `json:"faults,omitempty"`
 
+	// TrialOffset shifts the trial-index stream of a solve job: trial i of
+	// this job is globally trial TrialOffset+i, with seed
+	// rng.Mix(Seed, TrialOffset+i). A cluster coordinator uses it to shard
+	// a Trials=N job into seed-range shards whose per-trial seeds are
+	// bit-identical to the single-node run; clients rarely set it. Zero
+	// (the default) is the historical behavior and is omitted from the
+	// canonical encoding, so legacy cache keys are unchanged.
+	TrialOffset int `json:"trialOffset,omitempty"`
+	// Rows asks a solve job to return per-trial metric rows alongside the
+	// aggregate summaries. Shard responses always set it: rows are what a
+	// coordinator concatenates (by global trial index) to rebuild the
+	// merged result deterministically.
+	Rows bool `json:"rows,omitempty"`
+
 	// Seed makes the job reproducible (and is part of the cache key).
 	Seed uint64 `json:"seed"`
 }
@@ -94,6 +108,7 @@ func (r *JobRequest) Normalize() error {
 		}
 		r.Experiment = def.ID
 		r.Algorithm, r.Family, r.N, r.Trials, r.Faults = "", "", 0, 0, nil
+		r.TrialOffset, r.Rows = 0, false
 	case KindSolve:
 		if !mis.KnownAlgorithm(r.Algorithm) {
 			return fmt.Errorf("unknown algorithm %q (known: %s; see GET /v1/algorithms)",
@@ -110,6 +125,9 @@ func (r *JobRequest) Normalize() error {
 		}
 		if r.Trials < 1 {
 			r.Trials = 1
+		}
+		if r.TrialOffset < 0 {
+			return fmt.Errorf("trialOffset = %d, want ≥ 0", r.TrialOffset)
 		}
 		if r.Faults != nil {
 			if err := r.Faults.Validate(); err != nil {
@@ -187,6 +205,22 @@ type SolveResult struct {
 	// (violations, uncovered, crashed, restarts) alongside the usual ones.
 	Faults  *faults.Profile          `json:"faults,omitempty"`
 	Metrics map[string]stats.Summary `json:"metrics"`
+	// Rows holds the per-trial metric rows, in global trial order, when
+	// the request set Rows. Shard results always carry them; the
+	// coordinator merges shards by concatenating rows by trial index and
+	// recomputing Metrics exactly as the harness would, so merged results
+	// are bit-identical to a single-node run.
+	Rows []TrialRow `json:"rows,omitempty"`
+}
+
+// TrialRow is one trial's raw measurements.
+type TrialRow struct {
+	// Trial is the global trial index (TrialOffset + local index).
+	Trial int `json:"trial"`
+	// Seed is the trial's derived seed, rng.Mix(request seed, Trial).
+	Seed uint64 `json:"seed"`
+	// Metrics are the trial's named measurements.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // JobList is the response of GET /v1/jobs.

@@ -17,7 +17,8 @@ import (
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	pprof bool
+	pprof   bool
+	cluster func() any
 }
 
 // WithPprof mounts Go's net/http/pprof profiling endpoints under
@@ -27,6 +28,14 @@ type handlerConfig struct {
 // the rest of the API.
 func WithPprof() HandlerOption {
 	return func(c *handlerConfig) { c.pprof = true }
+}
+
+// WithClusterStatus mounts GET /v1/cluster serving whatever the given
+// function returns as JSON — a coordinator daemon installs its live
+// worker/shard status document here. Daemons not running as a
+// coordinator leave it unset and the route 404s.
+func WithClusterStatus(status func() any) HandlerOption {
+	return func(c *handlerConfig) { c.cluster = status }
 }
 
 // NewHandler returns the radiomisd HTTP API:
@@ -43,7 +52,10 @@ func WithPprof() HandlerOption {
 //	                            synchronously (200 plan, 400 invalid); identical
 //	                            requests replay from an LRU plan cache
 //	GET    /v1/algorithms       discovery: registered algorithms + param knobs
+//	GET    /v1/cluster          coordinator status (only with WithClusterStatus)
 //	GET    /healthz             liveness probe + build information
+//	GET    /readyz              readiness probe (503 while replaying the WAL
+//	                            at startup or draining at shutdown)
 //	GET    /metrics             Prometheus text exposition (format 0.0.4)
 //	GET    /debug/traces        recent spans (json; ?format=chrome|otlp)
 //	GET    /debug/pprof/...     Go profiling endpoints (only with WithPprof)
@@ -93,6 +105,23 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse())
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness (/healthz) says "the process is up"; readiness says
+		// "route work here". They split so a coordinator or ingress stops
+		// sending jobs to a worker that is still replaying its WAL or has
+		// begun draining — before it actually goes away.
+		ready, reason := m.Ready()
+		if ready {
+			writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready", Schema: SchemaVersion})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: reason, Schema: SchemaVersion})
+	})
+	if cfg.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, cfg.cluster())
+		})
+	}
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(m, w)
 	})

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"radiomis/internal/experiments"
@@ -19,6 +20,7 @@ import (
 	"radiomis/internal/obs"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
+	"radiomis/internal/store"
 	"radiomis/internal/telemetry"
 	"radiomis/internal/trace"
 )
@@ -55,6 +57,34 @@ type Options struct {
 	// writes a {"ev":"heartbeat"} keep-alive line (default 15s; negative
 	// disables heartbeats).
 	EventHeartbeat time.Duration
+	// Executor, when non-nil, replaces the local simulation executor for
+	// every job. A cluster coordinator installs its fan-out executor here;
+	// the whole job lifecycle (queue, cache, dedup, WAL, events, spans)
+	// is unchanged — only the work happens elsewhere. nil means
+	// ExecuteLocal.
+	Executor ExecuteFunc
+	// Store, when non-nil, makes the job queue durable: every accepted
+	// job and state transition is appended to the WAL, and New replays
+	// the log — terminal jobs come back with their results (warming the
+	// cache), queued and running jobs are re-enqueued and run again.
+	// Replayed jobs keep their IDs; new IDs continue after them.
+	Store *store.Log
+	// Registry, when non-nil, is the telemetry registry behind GET
+	// /metrics. Injecting one lets collaborating subsystems created before
+	// the manager (the WAL store, a cluster coordinator) expose their
+	// instrument families on the same endpoint. nil means a fresh private
+	// registry.
+	Registry *telemetry.Registry
+}
+
+// ExecuteFunc runs one normalized job request to completion.
+type ExecuteFunc func(ctx context.Context, req JobRequest) (*JobResult, error)
+
+// ExecuteLocal is the default executor: it runs the simulation described
+// by a normalized request in-process. Cluster coordinators fall back to
+// it for work they do not shard.
+func ExecuteLocal(ctx context.Context, req JobRequest) (*JobResult, error) {
+	return execute(ctx, req)
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +140,12 @@ type Manager struct {
 	seq      int
 	draining bool
 
+	// ready flips to true once startup replay has re-enqueued persisted
+	// jobs, and back to false when draining starts; GET /readyz reports
+	// it so cluster coordinators and k8s-style probes stop routing to a
+	// worker before it goes away. Atomic so the HTTP path skips m.mu.
+	ready atomic.Bool
+
 	// reg is the daemon-wide telemetry registry behind GET /metrics; met
 	// holds the instruments registered on it. Counters are atomic, so
 	// they're bumped outside m.mu where convenient.
@@ -156,12 +192,34 @@ func newManagerMetrics(reg *telemetry.Registry) managerMetrics {
 	}
 }
 
-// New starts a manager with opts.Workers executor goroutines. Call
-// Shutdown to stop it.
+// New starts a manager with opts.Workers executor goroutines. With a
+// Store, the WAL is replayed first: recovered jobs are re-enqueued ahead
+// of new submissions (the queue is grown to hold them all) and the
+// manager only reports Ready once replay is complete. Call Shutdown to
+// stop it (and close the store).
 func New(opts Options) *Manager {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	reg := telemetry.New()
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+
+	var replayed []*store.JobRecord
+	queueCap := opts.QueueDepth
+	if opts.Store != nil {
+		replayed = opts.Store.Jobs()
+		pending := 0
+		for _, rec := range replayed {
+			if !isTerminal(rec.State) {
+				pending++
+			}
+		}
+		if queueCap < pending {
+			queueCap = pending
+		}
+	}
+
 	m := &Manager{
 		opts:       opts,
 		rootCtx:    ctx,
@@ -169,17 +227,28 @@ func New(opts Options) *Manager {
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 		cache:      newLRUCache[*JobResult](opts.CacheSize),
-		queue:      make(chan *Job, opts.QueueDepth),
+		queue:      make(chan *Job, queueCap),
 		reg:        reg,
 		met:        newManagerMetrics(reg),
 		sched:      newScheduler(opts.CacheSize, reg),
 	}
+	if len(replayed) > 0 {
+		n := m.recover(replayed)
+		opts.Logger.Info("wal replay complete",
+			"jobs", len(replayed), "requeued", n, "tornTail", opts.Store.TornTail())
+	}
+	m.ready.Store(true)
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
 }
+
+// Registry returns the daemon-wide telemetry registry behind
+// GET /metrics, so collaborating subsystems (the cluster coordinator,
+// the WAL) can register their instrument families on it.
+func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 
 // Job is one submitted simulation run.
 type Job struct {
@@ -419,6 +488,21 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (job *Job, created
 		m.opts.Logger.Warn("job rejected: queue full", "kind", req.Kind)
 		return nil, false, ErrQueueFull
 	}
+	if err := m.persistSubmit(j); err != nil {
+		// Roll back: a job the WAL cannot remember must not be accepted.
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		// The worker pool may already have picked the job up; mark it
+		// canceled so run() drops it without executing.
+		j.mu.Lock()
+		j.setStateLocked(StateCanceled, "wal append failed")
+		j.mu.Unlock()
+		j.cancel()
+		j.span.SetAttr("error", "wal append failed")
+		j.span.End()
+		m.opts.Logger.Error("job rejected: wal append failed", "kind", req.Kind, "error", err.Error())
+		return nil, false, err
+	}
 	m.inflight[key] = j
 	m.opts.Logger.Info("job queued", j.logArgs("kind", req.Kind)...)
 	return j, true, nil
@@ -463,6 +547,7 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 	case StateQueued:
 		j.cancelRequested = true
 		j.setStateLocked(StateCanceled, "canceled before start")
+		m.persistState(j, StateCanceled, "canceled before start", nil)
 		delete(m.inflight, j.key)
 		m.met.canceled.Inc()
 		j.span.SetAttr("canceled", true)
@@ -514,6 +599,7 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 // forced an abort.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	defer m.sched.close() // release idle schedule planners (idempotent)
+	m.ready.Store(false)  // /readyz flips before the queue closes
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -529,14 +615,22 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		m.rootCancel() // abort in-flight engine runs
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.opts.Store != nil {
+		m.mu.Lock()
+		if cerr := m.opts.Store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		m.mu.Unlock()
+	}
+	return err
 }
 
 func (m *Manager) worker() {
@@ -557,6 +651,7 @@ func (m *Manager) run(j *Job) {
 	queueWait := j.startedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
 
+	m.persistRunning(j)
 	m.met.executed.Inc()
 	m.met.queueWait.ObserveDuration(queueWait)
 
@@ -582,7 +677,11 @@ func (m *Manager) run(j *Job) {
 	// traceId/spanId itself, so only the job fields ride along explicitly.
 	m.opts.Logger.InfoContext(ctx, "job started",
 		"jobId", j.id, "kind", j.req.Kind, "queueWaitMs", durationMs(queueWait))
-	res, err := execute(ctx, j.req)
+	exec := m.opts.Executor
+	if exec == nil {
+		exec = execute
+	}
+	res, err := exec(ctx, j.req)
 	m.finish(j, res, err)
 }
 
@@ -626,7 +725,12 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		j.setStateLocked(StateFailed, err.Error())
 	}
 	state, errMsg := j.state, j.errMsg
+	var persisted *JobResult
+	if state == StateDone {
+		persisted = j.result
+	}
 	j.mu.Unlock()
+	m.persistState(j, state, errMsg, persisted)
 	m.mu.Unlock()
 	if err != nil {
 		j.runSpan.SetAttr("error", err.Error())
@@ -672,7 +776,7 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 		if req.Faults != nil {
 			fp = *req.Faults
 		}
-		agg, err := harness.Repeat(ctx, harness.Options{Trials: req.Trials, Seed: req.Seed},
+		agg, err := harness.Repeat(ctx, harness.Options{Trials: req.Trials, Seed: req.Seed, SeedOffset: req.TrialOffset},
 			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
 				g := graph.Generate(fam, req.N, rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
@@ -724,7 +828,34 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 		for _, name := range agg.Names() {
 			sr.Metrics[name] = agg.Summary(name)
 		}
+		if req.Rows {
+			sr.Rows = trialRows(req, agg)
+		}
 		return &JobResult{Solve: sr}, nil
 	}
 	return nil, fmt.Errorf("server: unexecutable kind %q", req.Kind)
+}
+
+// trialRows flattens an aggregate into per-trial rows in global trial
+// order — the shape a cluster coordinator concatenates across shards.
+func trialRows(req JobRequest, agg *harness.Aggregate) []TrialRow {
+	rows := make([]TrialRow, req.Trials)
+	for i := range rows {
+		global := req.TrialOffset + i
+		rows[i] = TrialRow{
+			Trial:   global,
+			Seed:    rng.Mix(req.Seed, uint64(global)),
+			Metrics: make(map[string]float64),
+		}
+	}
+	for _, name := range agg.Names() {
+		vals := agg.Metric(name)
+		if len(vals) != req.Trials {
+			continue // metric missing for some trial; leave it out of rows
+		}
+		for i, v := range vals {
+			rows[i].Metrics[name] = v
+		}
+	}
+	return rows
 }

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"radiomis/internal/store"
+)
+
+// The restart test needs a daemon it can SIGKILL — a real process, not a
+// goroutine. TestMain turns the test binary into that daemon when the
+// child env var is set: it opens the WAL at the given data dir, runs a
+// one-worker manager over a real HTTP listener, writes the listen address
+// to a file the parent watches, and serves until killed.
+const (
+	childEnv    = "RADIOMISD_TEST_CHILD"
+	dataDirEnv  = "RADIOMISD_TEST_DATADIR"
+	addrFileEnv = "RADIOMISD_TEST_ADDRFILE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		runChildDaemon()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runChildDaemon() {
+	st, err := store.Open(os.Getenv(dataDirEnv), store.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: open store:", err)
+		os.Exit(1)
+	}
+	mgr := New(Options{Workers: 1, Store: st})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: listen:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(os.Getenv(addrFileEnv), []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "child: write addr file:", err)
+		os.Exit(1)
+	}
+	// Serve until the parent SIGKILLs us; there is deliberately no
+	// graceful shutdown — the whole point is dying mid-job.
+	if err := http.Serve(ln, NewHandler(mgr)); err != nil {
+		fmt.Fprintln(os.Stderr, "child: serve:", err)
+		os.Exit(1)
+	}
+}
+
+// startChildDaemon launches the test binary as a daemon process on dir
+// and returns its base URL once it is listening and ready.
+func startChildDaemon(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d", time.Now().UnixNano()))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		childEnv+"=1", dataDirEnv+"="+dir, addrFileEnv+"="+addrFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child daemon: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	var base string
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("child daemon never wrote its listen address")
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("child daemon never became ready")
+	return nil, ""
+}
+
+func postJob(t *testing.T, base string, req JobRequest) *JobStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+// TestRestartResumesQueuedJobs is the durability acceptance test: a
+// daemon with a WAL is SIGKILLed with accepted jobs still in flight; a
+// fresh daemon on the same data dir must replay the log, re-run the
+// unfinished jobs under their original IDs, and produce exactly the
+// results the dead daemon would have.
+func TestRestartResumesQueuedJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	dir := t.TempDir()
+	cmd, base := startChildDaemon(t, dir)
+
+	// One executor in the child: the first job starts running, the rest
+	// sit queued, so the SIGKILL below is guaranteed to catch non-terminal
+	// jobs.
+	reqs := make([]JobRequest, 3)
+	ids := make([]string, 3)
+	for i := range reqs {
+		reqs[i] = JobRequest{Kind: KindSolve, Algorithm: "cd", N: 400, Trials: 6, Seed: uint64(100 + i)}
+		st := postJob(t, base, reqs[i])
+		ids[i] = st.ID
+	}
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	_, base = startChildDaemon(t, dir)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for i, id := range ids {
+		var st JobStatus
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				t.Fatalf("job %s: status %d after restart (job lost?)", id, resp.StatusCode)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %s after restart", id, st.State)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+
+		want := reqs[i]
+		if err := want.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := ExecuteLocal(context.Background(), want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := json.Marshal(st.Result)
+		exp, _ := json.Marshal(wantRes)
+		if string(got) != string(exp) {
+			t.Errorf("job %s result differs after restart:\n got %s\nwant %s", id, got, exp)
+		}
+	}
+}

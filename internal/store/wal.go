@@ -1,0 +1,475 @@
+// Package store is radiomisd's durable job store: an append-only
+// write-ahead log that persists every accepted job and every state
+// transition, so a daemon killed with queued or running work re-enqueues
+// it on restart instead of silently dropping it.
+//
+// On-disk layout: a data directory holds numbered segment files
+// (wal-00000001.log, wal-00000002.log, ...). Each segment is a sequence
+// of length-prefixed records:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// The payload is one JSON Record. Appends go to the highest-numbered
+// segment; once it exceeds Options.SegmentBytes the log rotates: a new
+// segment is started with a snapshot of every live (non-terminal) job,
+// and all older segments are deleted. Compaction therefore happens at
+// rotation, and its invariant is that the newest segment alone always
+// reconstructs every job that still needs to run. Terminal jobs' records
+// survive until the rotation after their completion — long enough to
+// warm the result cache across restarts, without the log growing without
+// bound.
+//
+// Crash tolerance on replay: a truncated final record (the classic torn
+// write of a crash mid-append) is tolerated — the tail is discarded and
+// the log is truncated to the last whole record before appends resume. A
+// checksum mismatch on any complete record is corruption, not a torn
+// write, and Open rejects the log with an error naming the segment and
+// offset rather than silently dropping jobs.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"radiomis/internal/telemetry"
+)
+
+// Record kinds.
+const (
+	// RecordJob declares a job: its ID and normalized request. Written on
+	// acceptance and again (with the job's current state) in rotation
+	// snapshots.
+	RecordJob = "job"
+	// RecordState is a job state transition; terminal transitions carry
+	// the result (done) or error (failed/canceled).
+	RecordState = "state"
+)
+
+// Record is one WAL entry's JSON payload.
+type Record struct {
+	T  string `json:"t"`
+	ID string `json:"id"`
+	// Time is the wall-clock instant of the event.
+	Time time.Time `json:"time"`
+	// Req is the normalized job request JSON (RecordJob only).
+	Req json.RawMessage `json:"req,omitempty"`
+	// State is the job state this record declares or transitions to.
+	State string `json:"state,omitempty"`
+	// Error is the failure/cancellation message of terminal transitions.
+	Error string `json:"error,omitempty"`
+	// Result is the completed job's result JSON (terminal done records
+	// and snapshot records of done jobs).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobRecord is one job's state as reconstructed by replay.
+type JobRecord struct {
+	ID          string
+	Req         json.RawMessage
+	State       string
+	Error       string
+	Result      json.RawMessage
+	SubmittedAt time.Time
+	UpdatedAt   time.Time
+}
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 8 MiB). Small
+	// values are useful in tests.
+	SegmentBytes int64
+	// Sync fsyncs after every append. Off by default: records are
+	// write()n immediately, which survives SIGKILL of the process (the
+	// page cache outlives it); Sync additionally survives power loss at
+	// the cost of one fsync per record.
+	Sync bool
+	// Metrics, when non-nil, registers the radiomisd_wal_* instrument
+	// families on the given registry.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// terminal reports whether a job state needs no further execution.
+// The strings mirror internal/server's job states; store treats them as
+// opaque except for this.
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	recHdrSize = 8 // uint32 length + uint32 CRC-32C
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open WAL. All methods are unsynchronized; the owning
+// Manager serializes access under its own mutex.
+type Log struct {
+	dir  string
+	opts Options
+
+	f      *os.File // current (highest-numbered) segment, open for append
+	seq    uint64   // current segment number
+	size   int64    // current segment size in bytes
+	closed bool
+
+	// jobs mirrors the log's reduced content: every job named by any
+	// retained record, in first-seen order. Rotation snapshots are built
+	// from it.
+	jobs  map[string]*JobRecord
+	order []string
+
+	tornTail bool // replay discarded a truncated final record
+
+	met walMetrics
+}
+
+// walMetrics holds the optional telemetry instruments; all-nil when
+// Options.Metrics was nil (each use site checks).
+type walMetrics struct {
+	appends, bytes, compactions *telemetry.Counter
+	segments, liveJobs          *telemetry.Gauge
+	replayed                    *telemetry.Counter
+}
+
+func newWalMetrics(reg *telemetry.Registry) walMetrics {
+	if reg == nil {
+		return walMetrics{}
+	}
+	return walMetrics{
+		appends:     reg.Counter("radiomisd_wal_appends_total", "Records appended to the job WAL."),
+		bytes:       reg.Counter("radiomisd_wal_append_bytes_total", "Bytes appended to the job WAL, including record framing."),
+		compactions: reg.Counter("radiomisd_wal_compactions_total", "WAL rotations (each rewrites live jobs into a fresh segment and deletes older ones)."),
+		segments:    reg.Gauge("radiomisd_wal_segments", "WAL segment files currently on disk."),
+		liveJobs:    reg.Gauge("radiomisd_wal_live_jobs", "Non-terminal jobs tracked by the WAL."),
+		replayed:    reg.Counter("radiomisd_wal_replayed_jobs_total", "Jobs reconstructed from the WAL at startup."),
+	}
+}
+
+// Open opens (creating if needed) the WAL in dir, replays every retained
+// record, and leaves the newest segment ready for appends. A truncated
+// final record is discarded (and the segment truncated); corrupt records
+// anywhere else fail Open with a descriptive error.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	l := &Log{
+		dir:  dir,
+		opts: opts,
+		jobs: make(map[string]*JobRecord),
+		met:  newWalMetrics(opts.Metrics),
+	}
+	segs, err := l.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+		l.updateGauges(1)
+		return l, nil
+	}
+	for i, seq := range segs {
+		final := i == len(segs)-1
+		if err := l.replaySegment(seq, final); err != nil {
+			return nil, err
+		}
+	}
+	// Re-open the newest segment for appends, positioned after the last
+	// whole record (replaySegment truncated any torn tail).
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(l.segmentPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening segment for append: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat segment: %w", err)
+	}
+	l.f, l.seq, l.size = f, last, st.Size()
+	if l.met.replayed != nil {
+		l.met.replayed.Add(uint64(len(l.order)))
+	}
+	l.updateGauges(len(segs))
+	return l, nil
+}
+
+// TornTail reports whether replay discarded a truncated final record.
+func (l *Log) TornTail() bool { return l.tornTail }
+
+// Jobs returns the replayed job records in first-submission order.
+func (l *Log) Jobs() []*JobRecord {
+	out := make([]*JobRecord, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.jobs[id])
+	}
+	return out
+}
+
+// Dir returns the WAL's data directory.
+func (l *Log) Dir() string { return l.dir }
+
+func (l *Log) segmentPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// listSegments returns the on-disk segment numbers in ascending order.
+func (l *Log) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading data dir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// replaySegment reads one segment and applies its records to l.jobs.
+// Only the final segment of the log may end in a truncated record; when
+// it does, the segment is truncated to the last whole record.
+func (l *Log) replaySegment(seq uint64, final bool) error {
+	path := l.segmentPath(seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: reading segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < recHdrSize {
+			return l.tornOrCorrupt(path, off, final, "truncated record header")
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if len(data)-off-recHdrSize < n {
+			return l.tornOrCorrupt(path, off, final, "truncated record payload")
+		}
+		payload := data[off+recHdrSize : off+recHdrSize+n]
+		if got := crc32.Checksum(payload, crcTable); got != sum {
+			// A complete record with a bad checksum is corruption wherever
+			// it sits — torn writes produce short records, not wrong bytes.
+			return fmt.Errorf("store: %s: offset %d: checksum mismatch (record claims %#08x, payload sums to %#08x): refusing to replay corrupt WAL", path, off, sum, got)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: %s: offset %d: undecodable record: %w", path, off, err)
+		}
+		l.apply(rec)
+		off += recHdrSize + n
+	}
+	return nil
+}
+
+// tornOrCorrupt handles a short read at offset off: tolerated (discard +
+// truncate) at the tail of the final segment, an error anywhere else.
+func (l *Log) tornOrCorrupt(path string, off int, final bool, what string) error {
+	if !final {
+		return fmt.Errorf("store: %s: offset %d: %s in non-final segment: refusing to replay corrupt WAL", path, off, what)
+	}
+	l.tornTail = true
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return fmt.Errorf("store: truncating torn tail: %w", err)
+	}
+	return nil
+}
+
+// apply folds one record into the reduced job map.
+func (l *Log) apply(rec Record) {
+	switch rec.T {
+	case RecordJob:
+		j, ok := l.jobs[rec.ID]
+		if !ok {
+			j = &JobRecord{ID: rec.ID, SubmittedAt: rec.Time}
+			l.jobs[rec.ID] = j
+			l.order = append(l.order, rec.ID)
+		}
+		j.Req = rec.Req
+		if rec.State != "" { // snapshot records carry the state inline
+			j.State = rec.State
+			j.Error = rec.Error
+			if rec.Result != nil {
+				j.Result = rec.Result
+			}
+		} else if j.State == "" {
+			j.State = "queued"
+		}
+		j.UpdatedAt = rec.Time
+	case RecordState:
+		j, ok := l.jobs[rec.ID]
+		if !ok {
+			return // transition for a job compacted away; ignore
+		}
+		j.State = rec.State
+		j.Error = rec.Error
+		if rec.Result != nil {
+			j.Result = rec.Result
+		}
+		j.UpdatedAt = rec.Time
+	}
+}
+
+// Append writes one record, rotating the log first if the current
+// segment is over the size threshold. The record is also folded into the
+// in-memory job map so future rotations snapshot it correctly.
+func (l *Log) Append(rec Record) error {
+	if l.closed {
+		return errors.New("store: log is closed")
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := l.writeRecord(rec)
+	if err != nil {
+		return err
+	}
+	l.apply(rec)
+	if l.met.appends != nil {
+		l.met.appends.Inc()
+		l.met.bytes.Add(uint64(n))
+		l.met.liveJobs.Set(int64(l.liveCount()))
+	}
+	return nil
+}
+
+func (l *Log) writeRecord(rec Record) (int, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("store: marshal record: %w", err)
+	}
+	buf := make([]byte, recHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[recHdrSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: appending record: %w", err)
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	l.size += int64(len(buf))
+	return len(buf), nil
+}
+
+func (l *Log) liveCount() int {
+	n := 0
+	for _, j := range l.jobs {
+		if !terminal(j.State) {
+			n++
+		}
+	}
+	return n
+}
+
+// rotate starts segment seq+1 with a snapshot of every live job, then
+// deletes all older segments (compaction). Terminal jobs drop out here:
+// their history has been served and the snapshot only needs the work a
+// restart must resume.
+func (l *Log) rotate() error {
+	old := l.seq
+	if err := l.openSegment(l.seq + 1); err != nil {
+		return err
+	}
+	// Snapshot live jobs into the fresh segment, pruning terminal ones
+	// from the in-memory map in the same pass.
+	keep := l.order[:0]
+	for _, id := range l.order {
+		j := l.jobs[id]
+		if terminal(j.State) {
+			delete(l.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+		if _, err := l.writeRecord(Record{
+			T: RecordJob, ID: j.ID, Time: j.SubmittedAt,
+			Req: j.Req, State: j.State, Error: j.Error, Result: j.Result,
+		}); err != nil {
+			return err
+		}
+	}
+	l.order = keep
+	for seq := old; seq >= 1; seq-- {
+		path := l.segmentPath(seq)
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break // already compacted past this point
+			}
+			return fmt.Errorf("store: removing compacted segment: %w", err)
+		}
+	}
+	if l.met.compactions != nil {
+		l.met.compactions.Inc()
+	}
+	l.updateGauges(1)
+	return nil
+}
+
+// openSegment creates and switches appends to segment seq.
+func (l *Log) openSegment(seq uint64) error {
+	f, err := os.OpenFile(l.segmentPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	return nil
+}
+
+func (l *Log) updateGauges(segments int) {
+	if l.met.segments != nil {
+		l.met.segments.Set(int64(segments))
+		l.met.liveJobs.Set(int64(l.liveCount()))
+	}
+}
+
+// Close flushes and closes the current segment. Further Appends fail.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
