@@ -50,9 +50,9 @@ func run(args []string) error {
 	var err error
 	switch *algo {
 	case "cd":
-		res, err = mis.SolveCD(g, p, *seed)
+		res, err = mis.Run("cd", g, p, mis.RunOpts{Seed: *seed})
 	case "nocd":
-		res, err = mis.SolveNoCD(g, p, *seed)
+		res, err = mis.Run("nocd", g, p, mis.RunOpts{Seed: *seed})
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}

@@ -11,7 +11,7 @@ import (
 func ExampleSolveCD() {
 	g := radiomis.Cycle(64)
 	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
-	res, err := radiomis.SolveCD(g, p, 42)
+	res, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "cd", Params: p, Seed: 41})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -24,7 +24,7 @@ func main() {
 
 	// Step 1 — MIS via the paper's energy-efficient no-CD algorithm.
 	params := radiomis.DefaultParams(field.N(), field.MaxDegree())
-	misRun, err := radiomis.SolveNoCD(field, params, 8)
+	misRun, err := radiomis.Solve(field, radiomis.Spec{Algorithm: "nocd", Params: params, Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

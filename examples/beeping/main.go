@@ -18,7 +18,7 @@ func main() {
 	g := radiomis.Grid(rows, cols)
 	params := radiomis.DefaultParams(g.N(), g.MaxDegree())
 
-	res, err := radiomis.SolveBeep(g, params, 5)
+	res, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "beep", Params: params, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 	fmt.Print(sb.String())
 
 	// Same seed in the CD radio model: identical behaviour (§3.1).
-	cd, err := radiomis.SolveCD(g, params, 5)
+	cd, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "cd", Params: params, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

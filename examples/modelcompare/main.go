@@ -35,7 +35,7 @@ func main() {
 	}
 
 	// SLEEPING-RADIO with collision detection: Algorithm 1.
-	cd, err := radiomis.SolveCD(g, params, 5)
+	cd, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "cd", Params: params, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func main() {
 	}
 
 	// SLEEPING-RADIO without collision detection: Algorithm 2.
-	nocd, err := radiomis.SolveNoCD(g, params, 5)
+	nocd, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "nocd", Params: params, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 
 	// Run Algorithm 1 in the collision-detection model. Everything is
 	// deterministic in (graph, params, seed).
-	res, err := radiomis.SolveCD(g, params, 42)
+	res, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "cd", Params: params, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 
 	// The same program runs unchanged in the beeping model (§3.1) and
 	// makes identical decisions under identical randomness.
-	beep, err := radiomis.SolveBeep(g, params, 42)
+	beep, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "beep", Params: params, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

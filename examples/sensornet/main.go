@@ -25,7 +25,7 @@ func main() {
 	params := radiomis.DefaultParams(field.N(), field.MaxDegree())
 
 	// Elect clusterheads with the energy-efficient no-CD algorithm.
-	backbone, err := radiomis.SolveNoCD(field, params, 7)
+	backbone, err := radiomis.Solve(field, radiomis.Spec{Algorithm: "nocd", Params: params, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func main() {
 	// Energy: the point of the paper. Compare against the Davies-style
 	// baseline (best known prior for arbitrary topology, §4.2) on the
 	// same field.
-	baseline, err := radiomis.SolveLowDegree(field, params, 7)
+	baseline, err := radiomis.Solve(field, radiomis.Spec{Algorithm: "lowdegree", Params: params, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,11 +20,11 @@ func main() {
 
 	params := radiomis.DefaultParams(g.N(), delta)
 
-	known, err := radiomis.SolveNoCD(g, params, 3)
+	known, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "nocd", Params: params, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	unknown, err := radiomis.SolveUnknownDelta(g, params, 3)
+	unknown, err := radiomis.Solve(g, radiomis.Spec{Algorithm: "unknown-delta", Params: params, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

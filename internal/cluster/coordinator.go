@@ -431,6 +431,7 @@ func mergeShards(req server.JobRequest, results [][]server.TrialRow) *server.Job
 		N:         req.N,
 		Trials:    req.Trials,
 		Faults:    req.Faults,
+		Engine:    server.ResolveEngine(req),
 		Metrics:   make(map[string]stats.Summary),
 	}
 	vals := make([]float64, 0, len(rows))

@@ -59,7 +59,7 @@ func E10Ablation(ctx context.Context, cfg Config) (*Report, error) {
 				g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
 				p.Ablate = abl
-				res, err := mis.SolveNoCDContext(ctx, g, p, seed)
+				res, err := mis.Run("nocd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 				if err != nil {
 					return nil, err
 				}

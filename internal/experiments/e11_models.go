@@ -7,7 +7,6 @@ import (
 	"radiomis/internal/congest"
 	"radiomis/internal/graph"
 	"radiomis/internal/harness"
-	"radiomis/internal/mis"
 	"radiomis/internal/rng"
 	"radiomis/internal/texttable"
 )
@@ -67,7 +66,7 @@ func E11Models(ctx context.Context, cfg Config) (*Report, error) {
 		report.AddAggregate("models/sleeping-congest/luby", float64(n), cg)
 
 		// SLEEPING-RADIO with CD: Algorithm 1.
-		cd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveCDContext))
+		cd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, solver("cd")))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e11 cd n=%d: %w", n, err)
 		}
@@ -76,7 +75,7 @@ func E11Models(ctx context.Context, cfg Config) (*Report, error) {
 		report.AddAggregate("models/radio-cd/algorithm1", float64(n), cd)
 
 		// SLEEPING-RADIO without CD: Algorithm 2.
-		nocd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, mis.SolveNoCDContext))
+		nocd, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(graph.FamilyGNP, n, solver("nocd")))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e11 nocd n=%d: %w", n, err)
 		}

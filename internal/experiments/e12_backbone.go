@@ -45,7 +45,7 @@ func E12Backbone(ctx context.Context, cfg Config) (*Report, error) {
 			seed := rng.Mix(cfg.Seed, uint64(n*10+trial))
 			g := graph.Grid2D(isqrt(n), isqrt(n))
 			p := mis.ParamsDefault(g.N(), g.MaxDegree())
-			misRun, err := mis.SolveCDContext(ctx, g, p, seed)
+			misRun, err := mis.Run("cd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e12 mis: %w", err)
 			}

@@ -74,7 +74,7 @@ func E13Constants(ctx context.Context, cfg Config) (*Report, error) {
 				g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
 				p.CPrime = cp
-				res, err := mis.SolveNoCDContext(ctx, g, p, seed)
+				res, err := mis.Run("nocd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 				if err != nil {
 					return nil, err
 				}
@@ -103,7 +103,7 @@ func cdFailureRate(ctx context.Context, cfg Config, n, t int, mod func(*mis.Para
 			g := graph.GNP(n, 8.0/float64(n), rng.New(seed))
 			p := mis.ParamsDefault(g.N(), g.MaxDegree())
 			mod(&p)
-			res, solveErr := mis.SolveCDContext(ctx, g, p, seed)
+			res, solveErr := mis.Run("cd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 			if solveErr != nil {
 				return nil, solveErr
 			}

@@ -15,6 +15,13 @@ import (
 // solveFunc is the common signature of all context-aware MIS solvers.
 type solveFunc func(context.Context, *graph.Graph, mis.Params, uint64) (*mis.Result, error)
 
+// solver adapts the registry's canonical Run entry point to solveFunc.
+func solver(name string) solveFunc {
+	return func(ctx context.Context, g *graph.Graph, p mis.Params, seed uint64) (*mis.Result, error) {
+		return mis.Run(name, g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
+	}
+}
+
 // misTrial builds a harness trial: generate a graph of the family at size
 // n, run the solver, and report energy/round/success metrics. The trial
 // context reaches the radio engine, so cancelling the harness batch aborts
@@ -50,7 +57,7 @@ func E2CDScaling(ctx context.Context, cfg Config) (*Report, error) {
 
 	series, err := harness.Sweep(ctx, toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
 		func(x float64) harness.TrialFunc {
-			return misTrial(graph.FamilyGNP, int(x), mis.SolveCDContext)
+			return misTrial(graph.FamilyGNP, int(x), solver("cd"))
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: e2: %w", err)

@@ -64,7 +64,7 @@ func E3Residual(ctx context.Context, cfg Config) (*Report, error) {
 		r := rng.New(seed)
 		g := graph.GNP(n, 8.0/float64(n), r)
 		p := mis.ParamsDefault(g.N(), g.MaxDegree())
-		res, err := mis.SolveCDContext(ctx, g, p, seed)
+		res, err := mis.Run("cd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: e3 trial %d: %w", trial, err)
 		}

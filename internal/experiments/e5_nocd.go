@@ -8,8 +8,6 @@ import (
 	"radiomis/internal/graph"
 	"radiomis/internal/harness"
 	"radiomis/internal/texttable"
-
-	"radiomis/internal/mis"
 )
 
 // E5NoCDScaling reproduces Theorem 10: Algorithm 2's worst-case energy
@@ -22,7 +20,7 @@ func E5NoCDScaling(ctx context.Context, cfg Config) (*Report, error) {
 
 	series, err := harness.Sweep(ctx, toFloats(ns), harness.Options{Trials: t, Seed: cfg.Seed},
 		func(x float64) harness.TrialFunc {
-			return misTrial(graph.FamilyGNP, int(x), mis.SolveNoCDContext)
+			return misTrial(graph.FamilyGNP, int(x), solver("nocd"))
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: e5: %w", err)

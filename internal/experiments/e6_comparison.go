@@ -6,7 +6,6 @@ import (
 
 	"radiomis/internal/graph"
 	"radiomis/internal/harness"
-	"radiomis/internal/mis"
 	"radiomis/internal/texttable"
 )
 
@@ -45,11 +44,11 @@ func E6Comparison(ctx context.Context, cfg Config) (*Report, error) {
 	for _, n := range ns {
 		for _, fam := range []graph.Family{graph.FamilyGNP, graph.FamilyCycle} {
 			// CD comparison.
-			a1, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveCDContext))
+			a1, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, solver("cd")))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 cd n=%d: %w", n, err)
 			}
-			nl, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveCDContext))
+			nl, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, solver("naive-cd")))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 naive-cd n=%d: %w", n, err)
 			}
@@ -61,15 +60,15 @@ func E6Comparison(ctx context.Context, cfg Config) (*Report, error) {
 			report.AddAggregate("comparison/cd/naive-luby/"+fam.String(), float64(n), nl)
 
 			// no-CD comparison.
-			a2, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNoCDContext))
+			a2, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, solver("nocd")))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 nocd n=%d: %w", n, err)
 			}
-			dv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveLowDegreeContext))
+			dv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, solver("lowdegree")))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 davies n=%d: %w", n, err)
 			}
-			nv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, mis.SolveNaiveNoCDContext))
+			nv, err := harness.Repeat(ctx, harness.Options{Trials: t, Seed: cfg.Seed}, misTrial(fam, n, solver("naive-nocd")))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e6 naive-nocd n=%d: %w", n, err)
 			}

@@ -38,11 +38,11 @@ func E8Beeping(ctx context.Context, cfg Config) (*Report, error) {
 			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
 				g := graph.Generate(fam, n, rng.New(seed))
 				p := mis.ParamsDefault(g.N(), g.MaxDegree())
-				cd, err := mis.SolveCDContext(ctx, g, p, seed)
+				cd, err := mis.Run("cd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 				if err != nil {
 					return nil, fmt.Errorf("cd: %w", err)
 				}
-				beep, err := mis.SolveBeepContext(ctx, g, p, seed)
+				beep, err := mis.Run("beep", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 				if err != nil {
 					return nil, fmt.Errorf("beep: %w", err)
 				}

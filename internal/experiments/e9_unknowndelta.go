@@ -43,11 +43,11 @@ func E9UnknownDelta(ctx context.Context, cfg Config) (*Report, error) {
 			guessCount = len(mis.DeltaGuesses(maxOf(delta, 2)))
 			roundRatio = float64(mis.UnknownDeltaRoundBudget(p)) / float64(mis.NoCDRoundBudget(p))
 
-			known, err := mis.SolveNoCDContext(ctx, g, p, seed)
+			known, err := mis.Run("nocd", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e9 known n=%d: %w", n, err)
 			}
-			unknown, err := mis.SolveUnknownDeltaContext(ctx, g, p, seed)
+			unknown, err := mis.Run("unknown-delta", g, p, mis.RunOpts{Seed: seed, Ctx: ctx})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: e9 unknown n=%d: %w", n, err)
 			}

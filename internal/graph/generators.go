@@ -373,6 +373,21 @@ func (f Family) String() string {
 	}
 }
 
+// SeedInvariant reports whether Generate builds the same graph regardless
+// of the random source — the deterministic families (grids, hypercubes,
+// cliques, cycles, stars, paths). Batch executors use this to recognize
+// that a multi-trial job on such a family runs every trial on one shared
+// graph, which is what makes the trials expressible as lanes of a single
+// lockstep engine pass.
+func (f Family) SeedInvariant() bool {
+	switch f {
+	case FamilyGrid, FamilyHypercube, FamilyClique, FamilyCycle, FamilyStar, FamilyPath:
+		return true
+	default:
+		return false
+	}
+}
+
 // ParseFamily converts a family name (as printed by String) back into a
 // Family. It reports an error for unknown names.
 func ParseFamily(s string) (Family, error) {

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"radiomis/internal/obs"
+	"radiomis/internal/rng"
+	"radiomis/internal/telemetry"
+)
+
+// batchEcho returns a BatchFunc recording each trial's seed as a metric,
+// so tests can assert the exact per-trial seed derivation.
+func batchEcho() BatchFunc {
+	return func(_ context.Context, offset int, seeds []uint64) ([]Metrics, error) {
+		ms := make([]Metrics, len(seeds))
+		for i, s := range seeds {
+			ms[i] = Metrics{"seed": float64(s), "trial": float64(offset + i)}
+		}
+		return ms, nil
+	}
+}
+
+func TestRepeatBatchesSeedsAndOrder(t *testing.T) {
+	// 10 trials in groups of 3: offsets 0, 3, 6, 9 with a ragged tail.
+	opts := Options{Trials: 10, Seed: 42, SeedOffset: 5}
+	agg, err := RepeatBatches(context.Background(), opts, 3, batchEcho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := agg.Metric("seed")
+	trials := agg.Metric("trial")
+	if len(seeds) != 10 {
+		t.Fatalf("got %d seed samples, want 10", len(seeds))
+	}
+	for i := 0; i < 10; i++ {
+		if want := float64(rng.Mix(42, uint64(5+i))); seeds[i] != want {
+			t.Errorf("trial %d seed = %v, want %v", i, seeds[i], want)
+		}
+		if trials[i] != float64(i) {
+			t.Errorf("result slot %d holds trial %v", i, trials[i])
+		}
+	}
+}
+
+func TestRepeatBatchesMatchesRepeat(t *testing.T) {
+	// The same seeds and aggregation must come out of Repeat and any group
+	// size of RepeatBatches.
+	trial := func(_ context.Context, seed uint64) (Metrics, error) {
+		return Metrics{"seed": float64(seed)}, nil
+	}
+	opts := Options{Trials: 7, Seed: 9, Parallelism: 2}
+	want, err := Repeat(context.Background(), opts, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range []int{1, 2, 7, 64} {
+		got, err := RepeatBatches(context.Background(), opts, group, batchEcho())
+		if err != nil {
+			t.Fatalf("group %d: %v", group, err)
+		}
+		if !reflect.DeepEqual(got.Metric("seed"), want.Metric("seed")) {
+			t.Errorf("group %d: seed series diverges from Repeat", group)
+		}
+	}
+}
+
+func TestRepeatBatchesProgressPerGroup(t *testing.T) {
+	var mu sync.Mutex
+	var events []obs.ProgressEvent
+	ctx := obs.ContextWithProgress(context.Background(), func(ev obs.ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	// 130 trials in groups of 64: exactly 3 events (64, 128, 130 done in
+	// some completion order), not 130.
+	opts := Options{Trials: 130, Seed: 1, Parallelism: 1}
+	if _, err := RepeatBatches(ctx, opts, 64, batchEcho()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d progress events, want 3 (one per lane group)", len(events))
+	}
+	wantDone := []int{64, 128, 130}
+	for i, ev := range events {
+		if ev.Stage != "trial" || ev.Done != wantDone[i] || ev.Total != 130 {
+			t.Errorf("event %d = %+v, want {Stage: trial, Done: %d, Total: 130}", i, ev, wantDone[i])
+		}
+	}
+}
+
+func TestRepeatBatchesFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	f := func(_ context.Context, offset int, seeds []uint64) ([]Metrics, error) {
+		if offset == 4 {
+			return nil, fmt.Errorf("trial 1: %w", boom)
+		}
+		ms := make([]Metrics, len(seeds))
+		for i := range ms {
+			ms[i] = Metrics{}
+		}
+		return ms, nil
+	}
+	_, err := RepeatBatches(context.Background(), Options{Trials: 12, Seed: 2, Parallelism: 1}, 4, f)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "harness: trials 4+: trial 1: boom" {
+		t.Fatalf("error text = %q", got)
+	}
+}
+
+func TestRepeatBatchesMetricsCountMismatch(t *testing.T) {
+	f := func(_ context.Context, _ int, seeds []uint64) ([]Metrics, error) {
+		return make([]Metrics, len(seeds)-1), nil
+	}
+	_, err := RepeatBatches(context.Background(), Options{Trials: 4, Seed: 3}, 2, f)
+	if err == nil {
+		t.Fatal("want error for short metrics slice")
+	}
+}
+
+func TestRepeatBatchesTelemetryPerTrial(t *testing.T) {
+	reg := telemetry.New()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	opts := Options{Trials: 9, Seed: 4, Parallelism: 1}
+	if _, err := RepeatBatches(ctx, opts, 4, batchEcho()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricTrialsTotal, "").Value(); got != 9 {
+		t.Errorf("%s = %d, want 9 (trials, not groups)", MetricTrialsTotal, got)
+	}
+	if got := reg.Histogram(MetricTrialSeconds, "").Count(); got != 9 {
+		t.Errorf("%s count = %d, want 9", MetricTrialSeconds, got)
+	}
+}
+
+func TestRepeatBatchesValidation(t *testing.T) {
+	if _, err := RepeatBatches(context.Background(), Options{Trials: 2}, 0, batchEcho()); err == nil {
+		t.Fatal("want error for group < 1")
+	}
+}

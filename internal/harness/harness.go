@@ -104,29 +104,65 @@ type Options struct {
 // (telemetry.WithRegistry), each completed trial's wall-clock duration is
 // observed into the MetricTrialSeconds histogram and MetricTrialsTotal is
 // incremented; with no registry the timing path is skipped entirely.
+//
+// Repeat is RepeatBatches with a group size of 1; callers whose trial
+// function can run many seeds per call (mis.RunMany on the lockstep
+// engine) use RepeatBatches directly.
 func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) {
+	return RepeatBatches(ctx, opts, 1, func(ctx context.Context, _ int, seeds []uint64) ([]Metrics, error) {
+		m, err := f(ctx, seeds[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Metrics{m}, nil
+	})
+}
+
+// BatchFunc runs one contiguous group of trials in a single call. seeds[i]
+// is the derived seed of global trial offset+i; the function returns one
+// Metrics per seed, in seed order. The context carries the worker's
+// radio.Pool and is cancelled when the batch is abandoned.
+type BatchFunc func(ctx context.Context, offset int, seeds []uint64) ([]Metrics, error)
+
+// RepeatBatches is Repeat generalized to trial functions that execute
+// `group` trials per call — the harness face of the lockstep engine, where
+// one mis.RunMany call advances up to 64 trials at once. Trial seeds,
+// aggregation order, fail-fast semantics, and worker pooling are identical
+// to Repeat's; the last group is ragged when Trials is not a multiple of
+// group.
+//
+// Progress events fire once per completed group, not once per trial —
+// Done jumps by the group size — so a lockstep batch does not emit 64
+// bursty events per engine pass into /events streams. Telemetry stays
+// per-trial: MetricTrialsTotal counts trials, and each trial observes the
+// group's mean per-trial duration into MetricTrialSeconds.
+func RepeatBatches(ctx context.Context, opts Options, group int, f BatchFunc) (*Aggregate, error) {
 	if opts.Trials < 1 {
 		return nil, fmt.Errorf("harness: Trials = %d, want ≥ 1", opts.Trials)
 	}
 	if opts.SeedOffset < 0 {
 		return nil, fmt.Errorf("harness: SeedOffset = %d, want ≥ 0", opts.SeedOffset)
 	}
+	if group < 1 {
+		return nil, fmt.Errorf("harness: group = %d, want ≥ 1", group)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
+	groups := (opts.Trials + group - 1) / group
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > opts.Trials {
-		par = opts.Trials
+	if par > groups {
+		par = groups
 	}
 
 	// Tracing, like telemetry, is out-of-band and free when absent: one
 	// context lookup per Repeat call, one nil check per trial. With a
 	// tracer on ctx the whole batch becomes a "harness.repeat" span and
-	// every trial a "harness.trial" child, so straggler trials are visible
-	// on the trace timeline.
+	// every trial (or trial group) a "harness.trial" child, so straggler
+	// trials are visible on the trace timeline.
 	tracer := trace.FromContext(ctx)
 	if tracer != nil {
 		var batch *trace.Span
@@ -172,28 +208,36 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 			pool := radio.NewPool(shardsPer)
 			defer pool.Close()
 			wctx := radio.WithPool(tctx, pool)
-			for i := range next {
+			seeds := make([]uint64, 0, group)
+			for off := range next {
 				if tctx.Err() != nil {
 					return // batch abandoned: drop remaining work
+				}
+				k := min(group, opts.Trials-off)
+				seeds = seeds[:0]
+				for i := 0; i < k; i++ {
+					seeds = append(seeds, rng.Mix(opts.Seed, uint64(opts.SeedOffset+off+i)))
 				}
 				var start time.Time
 				if trialHist != nil {
 					start = time.Now()
 				}
-				seed := rng.Mix(opts.Seed, uint64(opts.SeedOffset+i))
 				fctx := wctx
 				var sp *trace.Span
 				if tracer != nil {
 					fctx, sp = tracer.Start(wctx, "harness.trial",
-						trace.A("trial", i), trace.A("trialSeed", seed))
+						trace.A("trial", off), trace.A("trials", k), trace.A("trialSeed", seeds[0]))
 				}
-				m, err := f(fctx, seed)
+				ms, err := f(fctx, off, seeds)
+				if err == nil && len(ms) != k {
+					err = fmt.Errorf("batch returned %d metrics for %d trials", len(ms), k)
+				}
 				if err != nil {
 					sp.SetAttr("error", err.Error())
 					sp.End()
 					mu.Lock()
-					if firstErr == nil || i < firstIdx {
-						firstIdx, firstErr = i, err
+					if firstErr == nil || off < firstIdx {
+						firstIdx, firstErr = off, err
 					}
 					mu.Unlock()
 					cancel() // fail fast: stop handing out trials
@@ -201,12 +245,15 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 				}
 				sp.End()
 				if trialHist != nil {
-					trialHist.ObserveDuration(time.Since(start))
-					trialCount.Inc()
+					per := time.Since(start) / time.Duration(k)
+					for i := 0; i < k; i++ {
+						trialHist.ObserveDuration(per)
+					}
+					trialCount.Add(uint64(k))
 				}
-				results[i] = m
+				copy(results[off:], ms)
 				mu.Lock()
-				completed++
+				completed += k
 				done := completed
 				mu.Unlock()
 				obs.Report(tctx, obs.ProgressEvent{Stage: "trial", Done: done, Total: opts.Trials})
@@ -214,9 +261,9 @@ func Repeat(ctx context.Context, opts Options, f TrialFunc) (*Aggregate, error) 
 		}()
 	}
 feed:
-	for i := 0; i < opts.Trials; i++ {
+	for off := 0; off < opts.Trials; off += group {
 		select {
-		case next <- i:
+		case next <- off:
 		case <-tctx.Done():
 			break feed
 		}
@@ -225,7 +272,12 @@ feed:
 	wg.Wait()
 
 	if firstErr != nil {
-		return nil, fmt.Errorf("harness: trial %d: %w", firstIdx, firstErr)
+		if group == 1 {
+			return nil, fmt.Errorf("harness: trial %d: %w", firstIdx, firstErr)
+		}
+		// Group errors carry their own in-group trial attribution (e.g.
+		// mis.RunMany's "trial %d"), indexed relative to the group's start.
+		return nil, fmt.Errorf("harness: trials %d+: %w", firstIdx, firstErr)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: %w", err)

@@ -48,11 +48,15 @@ func NaiveCDProgram(p Params) radio.Program {
 }
 
 // SolveNaiveCD runs the non-energy-optimized Luby baseline in the CD model.
+//
+// Deprecated: use Run("naive-cd", ...) or RunMany for batches.
 func SolveNaiveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveNaiveCDContext(context.Background(), g, p, seed)
 }
 
 // SolveNaiveCDContext is SolveNaiveCD bounded by ctx.
+//
+// Deprecated: use Run("naive-cd", ...) with RunOpts.Ctx.
 func SolveNaiveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("naive-cd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }
@@ -100,11 +104,15 @@ func NaiveNoCDProgram(p Params) radio.Program {
 }
 
 // SolveNaiveNoCD runs the naive no-CD simulation baseline.
+//
+// Deprecated: use Run("naive-nocd", ...) or RunMany for batches.
 func SolveNaiveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveNaiveNoCDContext(context.Background(), g, p, seed)
 }
 
 // SolveNaiveNoCDContext is SolveNaiveNoCD bounded by ctx.
+//
+// Deprecated: use Run("naive-nocd", ...) with RunOpts.Ctx.
 func SolveNaiveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("naive-nocd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

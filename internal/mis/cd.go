@@ -63,6 +63,8 @@ func CDProgram(p Params) radio.Program {
 
 // SolveCD runs Algorithm 1 on g in the CD model and returns the computed
 // result. The run is deterministic in (g, p, seed).
+//
+// Deprecated: use Run("cd", ...) or RunMany for batches.
 func SolveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveCDContext(context.Background(), g, p, seed)
 }
@@ -71,6 +73,8 @@ func SolveCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 // simulation at the next round boundary. Cancellation never changes a
 // completed run's outcome — the same (g, p, seed) still yields bit-for-bit
 // identical results.
+//
+// Deprecated: use Run("cd", ...) with RunOpts.Ctx.
 func SolveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("cd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }
@@ -78,11 +82,15 @@ func SolveCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) 
 // SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1): every
 // "transmit 1" becomes a beep and "heard 1 or collision" becomes "heard a
 // beep". Round and energy complexities are identical to the CD run.
+//
+// Deprecated: use Run("beep", ...) or RunMany for batches.
 func SolveBeep(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveBeepContext(context.Background(), g, p, seed)
 }
 
 // SolveBeepContext is SolveBeep bounded by ctx.
+//
+// Deprecated: use Run("beep", ...) with RunOpts.Ctx.
 func SolveBeepContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("beep", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

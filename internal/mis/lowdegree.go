@@ -153,11 +153,15 @@ func LowDegreeProgram(p Params) radio.Program {
 
 // SolveLowDegree runs the standalone Davies-style baseline in the no-CD
 // model.
+//
+// Deprecated: use Run("lowdegree", ...) or RunMany for batches.
 func SolveLowDegree(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveLowDegreeContext(context.Background(), g, p, seed)
 }
 
 // SolveLowDegreeContext is SolveLowDegree bounded by ctx.
+//
+// Deprecated: use Run("lowdegree", ...) with RunOpts.Ctx.
 func SolveLowDegreeContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("lowdegree", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

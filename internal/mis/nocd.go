@@ -338,12 +338,16 @@ func receive(env *radio.Env, p Params, k, delta, dEst int) bool {
 }
 
 // SolveNoCD runs Algorithm 2 on g in the no-CD model.
+//
+// Deprecated: use Run("nocd", ...) or RunMany for batches.
 func SolveNoCD(g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return SolveNoCDContext(context.Background(), g, p, seed)
 }
 
 // SolveNoCDContext is SolveNoCD bounded by ctx: cancellation aborts the
 // simulation at the next round boundary.
+//
+// Deprecated: use Run("nocd", ...) with RunOpts.Ctx.
 func SolveNoCDContext(ctx context.Context, g *graph.Graph, p Params, seed uint64) (*Result, error) {
 	return Run("nocd", g, p, RunOpts{Seed: seed, Ctx: ctx})
 }

@@ -21,10 +21,14 @@ import (
 
 // algoSpec is one registry entry. Exactly one of program (a radio-model
 // distributed algorithm) and sequential (a centralized reference algorithm
-// with no rounds, no energy, and no channel to perturb) is set.
+// with no rounds, no energy, and no channel to perturb) is set. lane, when
+// set, builds the program's bit-parallel lane twin for the lockstep engine
+// (see lockstep.go); algorithms without one always run on the scalar
+// engine.
 type algoSpec struct {
 	model       radio.Model
 	program     func(Params) radio.Program
+	lane        func(Params) radio.LaneProgram
 	sequential  func(g *graph.Graph, p Params, seed uint64) *Result
 	description string
 }
@@ -35,15 +39,15 @@ const ModelSequential = "sequential"
 
 // algoSpecs maps canonical algorithm names to their specs.
 var algoSpecs = map[string]algoSpec{
-	"cd": {model: radio.ModelCD, program: CDProgram,
+	"cd": {model: radio.ModelCD, program: CDProgram, lane: newCDLane,
 		description: "Algorithm 1: energy-optimal MIS with collision detection (O(log n) energy, O(log² n) rounds)"},
-	"beep": {model: radio.ModelBeep, program: CDProgram,
+	"beep": {model: radio.ModelBeep, program: CDProgram, lane: newCDLane,
 		description: "Algorithm 1 unchanged in the beeping model (§3.1); same energy and rounds as cd"},
 	"nocd": {model: radio.ModelNoCD, program: NoCDProgram,
 		description: "Algorithms 2+3: energy-efficient MIS without collision detection (O(log² n log log n) energy)"},
 	"lowdegree": {model: radio.ModelNoCD, program: LowDegreeProgram,
 		description: "round-improved Davies-style MIS of §4.2 (O(log² n log Δ) rounds and energy); best-known-prior baseline"},
-	"naive-cd": {model: radio.ModelCD, program: NaiveCDProgram,
+	"naive-cd": {model: radio.ModelCD, program: NaiveCDProgram, lane: newNaiveCDLane,
 		description: "straightforward Luby baseline in the CD model (O(log² n) energy)"},
 	"naive-nocd": {model: radio.ModelNoCD, program: NaiveNoCDProgram,
 		description: "Algorithm 1 simulated round-by-round with traditional Decay backoff (O(log⁴ n) energy)"},
@@ -80,6 +84,10 @@ type AlgorithmInfo struct {
 	Model string `json:"model"`
 	// Description is a one-line human-readable summary.
 	Description string `json:"description"`
+	// Lockstep reports whether the algorithm has a bit-parallel lane
+	// program, i.e. whether multi-trial batches of it can run on the
+	// lockstep engine (see RunMany).
+	Lockstep bool `json:"lockstep"`
 }
 
 // Describe returns the registry metadata of the named algorithm.
@@ -92,7 +100,7 @@ func Describe(name string) (AlgorithmInfo, bool) {
 	if spec.sequential == nil {
 		model = spec.model.String()
 	}
-	return AlgorithmInfo{Name: name, Model: model, Description: spec.description}, true
+	return AlgorithmInfo{Name: name, Model: model, Description: spec.description, Lockstep: spec.lane != nil}, true
 }
 
 // Infos returns the metadata of every registered algorithm, sorted by name.

@@ -33,6 +33,7 @@ type Pool struct {
 	workers int
 	ws      *workerSet // lazily spawned helpers; nil until a run needs them
 	s       sched      // reused scheduler scratch
+	lk      lockstep   // reused lockstep-engine scratch (see lockstep.go)
 
 	// One-entry CSR cache. Trials in a batch overwhelmingly share one
 	// graph, so a single entry captures nearly all reuse; n and m guard

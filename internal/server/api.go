@@ -77,6 +77,17 @@ type JobRequest struct {
 	// identically, so legacy requests keep their historical cache keys.
 	Faults *faults.Profile `json:"faults,omitempty"`
 
+	// Engine selects the trial execution engine for solve jobs: "auto"
+	// (default, also the meaning of the empty string), "scalar", or
+	// "lockstep". Auto runs eligible jobs — a lockstep-capable algorithm, a
+	// seed-invariant graph family, and no fault profile — on the
+	// bit-parallel lockstep engine, batching up to 64 trials per engine
+	// pass, and everything else on the scalar engine; per-trial results are
+	// bit-identical either way. "lockstep" forces the batch engine and is
+	// rejected at submit time when the job is ineligible. "auto" normalizes
+	// to the empty string, so legacy requests keep their cache keys.
+	Engine string `json:"engine,omitempty"`
+
 	// TrialOffset shifts the trial-index stream of a solve job: trial i of
 	// this job is globally trial TrialOffset+i, with seed
 	// rng.Mix(Seed, TrialOffset+i). A cluster coordinator uses it to shard
@@ -108,7 +119,7 @@ func (r *JobRequest) Normalize() error {
 		}
 		r.Experiment = def.ID
 		r.Algorithm, r.Family, r.N, r.Trials, r.Faults = "", "", 0, 0, nil
-		r.TrialOffset, r.Rows = 0, false
+		r.TrialOffset, r.Rows, r.Engine = 0, false, ""
 	case KindSolve:
 		if !mis.KnownAlgorithm(r.Algorithm) {
 			return fmt.Errorf("unknown algorithm %q (known: %s; see GET /v1/algorithms)",
@@ -117,7 +128,8 @@ func (r *JobRequest) Normalize() error {
 		if r.Family == "" {
 			r.Family = graph.FamilyGNP.String()
 		}
-		if _, err := graph.ParseFamily(r.Family); err != nil {
+		fam, err := graph.ParseFamily(r.Family)
+		if err != nil {
 			return err
 		}
 		if r.N < 1 {
@@ -137,11 +149,47 @@ func (r *JobRequest) Normalize() error {
 				r.Faults = nil // canonical form: clean channel has no profile
 			}
 		}
+		switch r.Engine {
+		case "", mis.EngineAuto:
+			r.Engine = "" // canonical form: auto is empty, preserving legacy cache keys
+		case mis.EngineScalar:
+		case mis.EngineLockstep:
+			// Reject ineligible forced-lockstep jobs at submit time, with the
+			// reason, rather than queueing a job that can only fail.
+			switch {
+			case !mis.LockstepCapable(r.Algorithm):
+				return fmt.Errorf("engine %q: algorithm %q has no lockstep lane program (see GET /v1/algorithms)", r.Engine, r.Algorithm)
+			case !fam.SeedInvariant():
+				return fmt.Errorf("engine %q: family %q is not seed-invariant, so trials cannot share one graph", r.Engine, r.Family)
+			case r.Faults != nil:
+				return fmt.Errorf("engine %q: fault injection requires the scalar engine", r.Engine)
+			}
+		default:
+			return fmt.Errorf("unknown engine %q (want %q, %q, or %q)", r.Engine, mis.EngineAuto, mis.EngineScalar, mis.EngineLockstep)
+		}
 		r.Experiment, r.Quick = "", false
 	default:
 		return fmt.Errorf("unknown kind %q (want %q or %q)", r.Kind, KindExperiment, KindSolve)
 	}
 	return nil
+}
+
+// ResolveEngine reports the trial engine a normalized solve request runs
+// on: lockstep when the job is eligible (lane-capable algorithm,
+// seed-invariant family, no faults) and the request does not force
+// scalar; scalar otherwise. The executor and the cluster coordinator's
+// shard merge both use it, so a merged result reports the same engine a
+// single-node run would.
+func ResolveEngine(req JobRequest) string {
+	fam, err := graph.ParseFamily(req.Family)
+	if err != nil {
+		return mis.EngineScalar
+	}
+	if req.Engine != mis.EngineScalar && req.Faults == nil &&
+		mis.LockstepCapable(req.Algorithm) && fam.SeedInvariant() {
+		return mis.EngineLockstep
+	}
+	return mis.EngineScalar
 }
 
 // Key returns the canonical cache key: the hex SHA-256 of the normalized
@@ -203,7 +251,11 @@ type SolveResult struct {
 	// Faults echoes the fault profile the runs were perturbed with; absent
 	// for clean runs. Faulty results carry the extra robustness metrics
 	// (violations, uncovered, crashed, restarts) alongside the usual ones.
-	Faults  *faults.Profile          `json:"faults,omitempty"`
+	Faults *faults.Profile `json:"faults,omitempty"`
+	// Engine reports the trial engine the job actually ran on ("scalar" or
+	// "lockstep") — the resolution of the request's engine field, which may
+	// have been "auto".
+	Engine  string                   `json:"engine,omitempty"`
 	Metrics map[string]stats.Summary `json:"metrics"`
 	// Rows holds the per-trial metric rows, in global trial order, when
 	// the request set Rows. Shard results always carry them; the
@@ -237,11 +289,20 @@ type AlgorithmList struct {
 	Schema     string              `json:"schema"`
 	Algorithms []mis.AlgorithmInfo `json:"algorithms"`
 	Params     []mis.ParamKnob     `json:"params"`
+	// Engines lists the accepted values of JobRequest.Engine. Whether
+	// "lockstep" applies to a given algorithm is the per-algorithm
+	// "lockstep" capability flag above.
+	Engines []string `json:"engines"`
 }
 
 // AlgorithmCatalog returns the current AlgorithmList.
 func AlgorithmCatalog() AlgorithmList {
-	return AlgorithmList{Schema: SchemaVersion, Algorithms: mis.Infos(), Params: mis.ParamKnobs()}
+	return AlgorithmList{
+		Schema:     SchemaVersion,
+		Algorithms: mis.Infos(),
+		Params:     mis.ParamKnobs(),
+		Engines:    []string{"auto", mis.EngineScalar, mis.EngineLockstep},
+	}
 }
 
 // Event shapes streamed by GET /v1/jobs/{id}/events. Every line is one

@@ -18,6 +18,7 @@ import (
 	"radiomis/internal/logx"
 	"radiomis/internal/mis"
 	"radiomis/internal/obs"
+	"radiomis/internal/radio"
 	"radiomis/internal/rng"
 	"radiomis/internal/stats"
 	"radiomis/internal/store"
@@ -167,9 +168,17 @@ type managerMetrics struct {
 	done, failed, canceled, queueRejected     *telemetry.Counter
 	queueDepth, cacheEntries, workers         *telemetry.Gauge
 	queueWait, runDur, cacheAge               *telemetry.Histogram
-	trials                                    *telemetry.Counter
+	trials, laneTrials                        *telemetry.Counter
 	trialDur                                  *telemetry.Histogram
 }
+
+// MetricEngineLaneTrials counts solve trials executed on the bit-parallel
+// lockstep engine — each occupied one bit-lane of a batched engine pass.
+// Compare it against the harness trials total to see how much of the
+// daemon's workload runs bit-parallel.
+const MetricEngineLaneTrials = "radiomisd_engine_lane_trials_total"
+
+const metricEngineLaneTrialsHelp = "Trials executed on the bit-parallel lockstep engine, one per occupied bit-lane."
 
 func newManagerMetrics(reg *telemetry.Registry) managerMetrics {
 	return managerMetrics{
@@ -188,6 +197,7 @@ func newManagerMetrics(reg *telemetry.Registry) managerMetrics {
 		runDur:        reg.Histogram("radiomisd_job_run_seconds", "Wall-clock execution time of finished jobs."),
 		cacheAge:      reg.Histogram("radiomisd_result_cache_age_seconds", "Age of cached results when served."),
 		trials:        reg.Counter(harness.MetricTrialsTotal, "Completed harness trials across all jobs."),
+		laneTrials:    reg.Counter(MetricEngineLaneTrials, metricEngineLaneTrialsHelp),
 		trialDur:      reg.Histogram(harness.MetricTrialSeconds, "Wall-clock duration of one harness trial."),
 	}
 }
@@ -694,6 +704,9 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		if c, ok := j.reg.LookupCounter(harness.MetricTrialsTotal); ok {
 			m.met.trials.Add(c.Value())
 		}
+		if c, ok := j.reg.LookupCounter(MetricEngineLaneTrials); ok {
+			m.met.laneTrials.Add(c.Value())
+		}
 	}
 
 	m.mu.Lock()
@@ -772,48 +785,49 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fp faults.Profile
-		if req.Faults != nil {
-			fp = *req.Faults
-		}
-		agg, err := harness.Repeat(ctx, harness.Options{Trials: req.Trials, Seed: req.Seed, SeedOffset: req.TrialOffset},
-			func(ctx context.Context, seed uint64) (harness.Metrics, error) {
-				g := graph.Generate(fam, req.N, rng.New(seed))
-				p := mis.ParamsDefault(g.N(), g.MaxDegree())
-				res, err := mis.SolveWithFaults(ctx, req.Algorithm, g, p, seed, fp)
-				if err != nil {
-					return nil, err
-				}
-				met := harness.Metrics{
-					"maxEnergy": float64(res.MaxEnergy()),
-					"avgEnergy": res.AvgEnergy(),
-					"rounds":    float64(res.Rounds),
-				}
-				if req.Faults == nil {
-					// Clean jobs keep the historical strict-MIS criterion
-					// (CheckSurvivors coincides with it when nothing crashes).
-					success := 1.0
-					if res.Check(g) != nil {
-						success = 0
+		hopts := harness.Options{Trials: req.Trials, Seed: req.Seed, SeedOffset: req.TrialOffset}
+		var agg *harness.Aggregate
+		engine := ResolveEngine(req)
+		if engine == mis.EngineLockstep {
+			// A seed-invariant family generates the same graph at every
+			// trial seed, so the whole batch can share one topology (and
+			// parameter set) and run as bit-lanes of the lockstep engine.
+			// Per-trial rows are bit-identical to the scalar path.
+			g := graph.Generate(fam, req.N, rng.New(req.Seed))
+			p := mis.ParamsDefault(g.N(), g.MaxDegree())
+			reg := telemetry.FromContext(ctx)
+			agg, err = harness.RepeatBatches(ctx, hopts, radio.MaxLanes,
+				func(ctx context.Context, _ int, seeds []uint64) ([]harness.Metrics, error) {
+					results, err := mis.RunMany(req.Algorithm, g, p,
+						mis.ManyOpts{Seeds: seeds, Ctx: ctx, Engine: mis.EngineLockstep})
+					if err != nil {
+						return nil, err
 					}
-					met["success"] = success
-					return met, nil
-				}
-				success := 1.0
-				if res.CheckSurvivors(g) != nil {
-					success = 0
-				}
-				met["success"] = success
-				met["violations"] = float64(res.IndependenceViolations(g))
-				met["uncovered"] = float64(res.UncoveredOut(g))
-				met["crashed"] = float64(res.CrashCount())
-				restarts := 0.0
-				if res.Faults != nil {
-					restarts = float64(res.Faults.Restarts)
-				}
-				met["restarts"] = restarts
-				return met, nil
-			})
+					ms := make([]harness.Metrics, len(results))
+					for i, res := range results {
+						ms[i] = solveTrialMetrics(g, res, false)
+					}
+					if reg != nil {
+						reg.Counter(MetricEngineLaneTrials, metricEngineLaneTrialsHelp).Add(uint64(len(results)))
+					}
+					return ms, nil
+				})
+		} else {
+			var fp faults.Profile
+			if req.Faults != nil {
+				fp = *req.Faults
+			}
+			agg, err = harness.Repeat(ctx, hopts,
+				func(ctx context.Context, seed uint64) (harness.Metrics, error) {
+					g := graph.Generate(fam, req.N, rng.New(seed))
+					p := mis.ParamsDefault(g.N(), g.MaxDegree())
+					res, err := mis.SolveWithFaults(ctx, req.Algorithm, g, p, seed, fp)
+					if err != nil {
+						return nil, err
+					}
+					return solveTrialMetrics(g, res, req.Faults != nil), nil
+				})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -823,6 +837,7 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 			N:         req.N,
 			Trials:    req.Trials,
 			Faults:    req.Faults,
+			Engine:    engine,
 			Metrics:   make(map[string]stats.Summary),
 		}
 		for _, name := range agg.Names() {
@@ -834,6 +849,41 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 		return &JobResult{Solve: sr}, nil
 	}
 	return nil, fmt.Errorf("server: unexecutable kind %q", req.Kind)
+}
+
+// solveTrialMetrics converts one trial's MIS result into the solve job's
+// metric row. Both engines route through it, so lockstep and scalar jobs
+// report the same metric names with bit-identical values.
+func solveTrialMetrics(g *graph.Graph, res *mis.Result, faulty bool) harness.Metrics {
+	met := harness.Metrics{
+		"maxEnergy": float64(res.MaxEnergy()),
+		"avgEnergy": res.AvgEnergy(),
+		"rounds":    float64(res.Rounds),
+	}
+	if !faulty {
+		// Clean jobs keep the historical strict-MIS criterion
+		// (CheckSurvivors coincides with it when nothing crashes).
+		success := 1.0
+		if res.Check(g) != nil {
+			success = 0
+		}
+		met["success"] = success
+		return met
+	}
+	success := 1.0
+	if res.CheckSurvivors(g) != nil {
+		success = 0
+	}
+	met["success"] = success
+	met["violations"] = float64(res.IndependenceViolations(g))
+	met["uncovered"] = float64(res.UncoveredOut(g))
+	met["crashed"] = float64(res.CrashCount())
+	restarts := 0.0
+	if res.Faults != nil {
+		restarts = float64(res.Faults.Restarts)
+	}
+	met["restarts"] = restarts
+	return met
 }
 
 // trialRows flattens an aggregate into per-trial rows in global trial

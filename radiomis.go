@@ -33,8 +33,14 @@
 //     paper's algorithms improve on.
 //   - "unknown-delta" — the §1.1 extension for unknown maximum degree.
 //
-// The per-algorithm SolveCD, SolveBeep, … functions are one-line
-// conveniences over Solve. All runs are deterministic in
+// Multi-trial batches go through SolveMany, the canonical batch entry
+// point: it takes one seed per trial and routes eligible batches (see
+// LockstepCapable) through the bit-parallel lockstep engine, which runs up
+// to 64 trials per engine pass at a fraction of the per-trial cost. Every
+// trial's result is bit-identical to the corresponding single-trial Solve.
+//
+// The per-algorithm SolveCD, SolveBeep, … functions are deprecated
+// one-line conveniences over Solve. All runs are deterministic in
 // (graph, params, seed).
 package radiomis
 
@@ -112,9 +118,9 @@ type Spec struct {
 	Observer Observer
 }
 
-// Solve runs the algorithm named by spec on g. It is the single entry
-// point behind every per-algorithm Solve* convenience; an unknown
-// spec.Algorithm yields an error listing the registered names.
+// Solve runs the algorithm named by spec on g. It is the single-trial
+// entry point behind every per-algorithm Solve* convenience;
+// an unknown spec.Algorithm yields an error listing the registered names.
 func Solve(g *Graph, spec Spec) (*Result, error) {
 	return mis.Run(spec.Algorithm, g, spec.Params, mis.RunOpts{
 		Seed:     spec.Seed,
@@ -123,6 +129,62 @@ func Solve(g *Graph, spec Spec) (*Result, error) {
 		Observer: spec.Observer,
 	})
 }
+
+// Engine names accepted by ManySpec.Engine. EngineAuto (the empty
+// string's alias) picks the bit-parallel lockstep engine whenever the
+// batch is eligible — a clean, unobserved batch of a LockstepCapable
+// algorithm — and the scalar engine otherwise; the explicit names force
+// one engine, with EngineLockstep erroring when the batch cannot run on
+// it.
+const (
+	EngineAuto     = mis.EngineAuto
+	EngineScalar   = mis.EngineScalar
+	EngineLockstep = mis.EngineLockstep
+)
+
+// ManySpec configures a SolveMany call: the same algorithm spec as Solve
+// plus one seed per trial and an optional engine selector.
+type ManySpec struct {
+	// Spec carries the algorithm name and the per-trial knobs. Spec.Seed
+	// is ignored — the per-trial seeds come from Seeds.
+	Spec
+	// Seeds holds one trial seed per requested trial, in result order.
+	Seeds []uint64
+	// Engine selects the execution engine (see EngineAuto); the zero
+	// value is EngineAuto.
+	Engine string
+}
+
+// SolveMany runs len(spec.Seeds) independent trials of the algorithm named
+// by spec on g — the canonical multi-trial entry point (harness.Repeat and
+// the daemon's repeat jobs resolve here). Results are in seed order, each
+// bit-identical to the single-trial Solve with the same seed regardless of
+// the engine used; the first failing trial's error aborts the batch.
+//
+// Under EngineAuto, clean unobserved batches of LockstepCapable algorithms
+// run on the bit-parallel lockstep engine — up to 64 trials advanced in
+// lockstep as bit-lanes of one word per node — and everything else runs on
+// the scalar engine one trial at a time.
+func SolveMany(g *Graph, spec ManySpec) ([]*Result, error) {
+	return mis.RunMany(spec.Algorithm, g, spec.Params, mis.ManyOpts{
+		Seeds:    spec.Seeds,
+		Ctx:      spec.Ctx,
+		Faults:   spec.Faults,
+		Observer: spec.Observer,
+		Engine:   spec.Engine,
+	})
+}
+
+// LockstepCapable reports whether the named algorithm has a bit-parallel
+// lane program, i.e. whether SolveMany batches of it run on the lockstep
+// engine under EngineAuto.
+func LockstepCapable(name string) bool { return mis.LockstepCapable(name) }
+
+// TrialSeed derives trial i's seed from a base seed — the exact schedule
+// the benchmark harness and the daemon's repeat jobs use (a SplitMix64
+// mix, so nearby trial indices give statistically independent streams).
+// Feed it to ManySpec.Seeds to reproduce any harness trial exactly.
+func TrialSeed(seed, i uint64) uint64 { return rng.Mix(seed, i) }
 
 // Algorithms returns the registered algorithm names, sorted — the accepted
 // values of Spec.Algorithm.
@@ -181,39 +243,60 @@ func DefaultParams(n, delta int) Params { return mis.ParamsDefault(n, delta) }
 func PaperParams(n, delta int) Params { return mis.ParamsPaper(n, delta) }
 
 // SolveCD runs Algorithm 1 (energy-optimal MIS, CD model) on g.
+//
+// Deprecated: use Solve with Spec{Algorithm: "cd"}; for multi-trial
+// batches use SolveMany.
 func SolveCD(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "cd", Params: p, Seed: seed})
 }
 
 // SolveBeep runs Algorithm 1 unchanged in the beeping model (§3.1).
+//
+// Deprecated: use Solve with Spec{Algorithm: "beep"}; for multi-trial
+// batches use SolveMany.
 func SolveBeep(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "beep", Params: p, Seed: seed})
 }
 
 // SolveNoCD runs Algorithm 2 (energy-efficient MIS, no-CD model) on g.
+//
+// Deprecated: use Solve with Spec{Algorithm: "nocd"}; for multi-trial
+// batches use SolveMany.
 func SolveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "nocd", Params: p, Seed: seed})
 }
 
 // SolveLowDegree runs the round-improved Davies-style MIS of §4.2 on g in
 // the no-CD model (the best-known-prior baseline).
+//
+// Deprecated: use Solve with Spec{Algorithm: "lowdegree"}; for
+// multi-trial batches use SolveMany.
 func SolveLowDegree(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "lowdegree", Params: p, Seed: seed})
 }
 
 // SolveNaiveCD runs the straightforward Luby baseline in the CD model
 // (O(log² n) energy).
+//
+// Deprecated: use Solve with Spec{Algorithm: "naive-cd"}; for multi-trial
+// batches use SolveMany.
 func SolveNaiveCD(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "naive-cd", Params: p, Seed: seed})
 }
 
 // SolveNaiveNoCD runs the naive backoff simulation of Algorithm 1 in the
 // no-CD model (O(log⁴ n) worst-case energy).
+//
+// Deprecated: use Solve with Spec{Algorithm: "naive-nocd"}; for
+// multi-trial batches use SolveMany.
 func SolveNaiveNoCD(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "naive-nocd", Params: p, Seed: seed})
 }
 
 // SolveUnknownDelta runs the §1.1 unknown-Δ wrapper in the no-CD model.
+//
+// Deprecated: use Solve with Spec{Algorithm: "unknown-delta"}; for
+// multi-trial batches use SolveMany.
 func SolveUnknownDelta(g *Graph, p Params, seed uint64) (*Result, error) {
 	return Solve(g, Spec{Algorithm: "unknown-delta", Params: p, Seed: seed})
 }

@@ -15,6 +15,14 @@ contract: the warm "planner" variant must report exactly 0 allocs/op on
 every workload (minimum across -count repeats). A single steady-state
 allocation per call breaks the high-throughput schedule path's promise.
 
+With --lockstep the input is `go test -bench BenchmarkRunLockstep
+-benchmem` output, and the check is the lockstep engine's lane-path
+contract: the pooled variant's steady-state allocs/op (one op = one
+64-lane batch, minimum across -count repeats) must stay within a fixed
+per-batch budget. The budget covers the per-lane Result objects and batch
+bookkeeping; a per-round or per-(node, lane) allocation on the hot path
+inflates allocs/op by orders of magnitude and fails the gate.
+
 This is the coarse CI guard against gross regressions (a per-round or
 per-vertex allocation inflates allocs/op by thousands). The fine-grained
 contracts are enforced deterministically by TestPerfDisabledAddsNoAllocs /
@@ -33,7 +41,16 @@ LINE = re.compile(
 SOLVE_LINE = re.compile(
     r"^BenchmarkSolveBatch/(?P<variant>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
 )
+LOCKSTEP_LINE = re.compile(
+    r"^BenchmarkRunLockstep/(?P<variant>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
+)
 ALLOCS = re.compile(r"(\d+) allocs/op")
+
+# Steady-state allocs/op budget for one pooled 64-lane lockstep batch:
+# 64 per-lane Result objects plus batch bookkeeping (~90 today), with
+# headroom for small structural changes. A per-round allocation would
+# cost thousands per op and trips this immediately.
+LANE_ALLOC_BUDGET = 256
 
 # Allowed allocs/op increase of "perf" over "pooled": a constant for the
 # per-run timing closure plus a relative term for scheduling jitter.
@@ -80,10 +97,56 @@ def solvebatch_main(src):
     return 0
 
 
+def lockstep_main(src):
+    """--lockstep mode: the pooled lane path stays within its alloc budget."""
+    seen = {}  # workload -> {variant: min allocs/op across repeats}
+    for line in src:
+        m = LOCKSTEP_LINE.match(line.strip())
+        if not m:
+            continue
+        a = ALLOCS.search(m.group("metrics"))
+        if not a:
+            continue
+        work, variant, allocs = m.group("work"), m.group("variant"), int(a.group(1))
+        variants = seen.setdefault(work, {})
+        variants[variant] = min(variants.get(variant, allocs), allocs)
+
+    pooled = {w: v["lockstep-pooled"] for w, v in seen.items() if "lockstep-pooled" in v}
+    if not pooled:
+        print(
+            "benchallocs: no BenchmarkRunLockstep/lockstep-pooled lines found "
+            "(did you pass -benchmem?)",
+            file=sys.stderr,
+        )
+        return 1
+    ok = True
+    for work, allocs in sorted(pooled.items()):
+        status = "ok" if allocs <= LANE_ALLOC_BUDGET else "REGRESSION"
+        if allocs > LANE_ALLOC_BUDGET:
+            ok = False
+        print(
+            f"{status:10}  {work}: lockstep-pooled={allocs} allocs/op "
+            f"(budget {LANE_ALLOC_BUDGET} per 64-lane batch)"
+        )
+    if not ok:
+        print(
+            "benchallocs: the pooled lockstep batch allocates beyond its "
+            "per-batch budget — a per-round or per-lane hot-path allocation "
+            "likely crept in",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchallocs: lockstep lane path within budget across {len(pooled)} workloads")
+    return 0
+
+
 def main(argv):
     if "--solvebatch" in argv:
         argv = [a for a in argv if a != "--solvebatch"]
         return solvebatch_main(open(argv[1]) if len(argv) > 1 else sys.stdin)
+    if "--lockstep" in argv:
+        argv = [a for a in argv if a != "--lockstep"]
+        return lockstep_main(open(argv[1]) if len(argv) > 1 else sys.stdin)
     src = open(argv[1]) if len(argv) > 1 else sys.stdin
     seen = {}  # workload -> {engine: min allocs/op across repeats}
     for line in src:

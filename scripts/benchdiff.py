@@ -2,6 +2,7 @@
 """Compare two benchsuite -json reports metric by metric.
 
 Usage: benchdiff.py BASELINE.json CURRENT.json
+       benchdiff.py --lockstep [BENCH_OUTPUT.txt]
 
 The suite is deterministic at a fixed seed, so any drift in a metric
 summary (count/mean/std/min/max/median/p90 per (series, x, metric) point)
@@ -14,6 +15,15 @@ Reports may also carry a per-experiment "perf" section (trial wall-time
 histogram summaries). Perf numbers are hardware- and load-dependent, so
 they are compared informationally only: mean-trial-time drift beyond
 ±20% prints a PERF warning but never changes the exit code.
+
+With --lockstep the input is `go test -bench BenchmarkRun -benchmem`
+output covering both BenchmarkRun and BenchmarkRunLockstep (a file
+argument or stdin), and the check is the lockstep engine's throughput
+contract: on every shared workload, lockstep-pooled trials/s must be at
+least LOCKSTEP_FLOOR (5×) the pooled scalar engine's — a hard failure —
+and below LOCKSTEP_TARGET (10×) it prints a warn-only line. The maximum
+across -count repeats is compared on both sides: throughput noise only
+ever subtracts, so the max is the least-noisy estimate of each engine.
 """
 
 import json
@@ -57,7 +67,77 @@ def warn_perf_drift(baseline, current):
             )
 
 
+import re
+
+LOCKSTEP_FLOOR = 5.0  # hard minimum lockstep/scalar trials/s ratio
+LOCKSTEP_TARGET = 10.0  # warn (not fail) below this ratio
+
+BENCH_LINE = re.compile(
+    r"^(?P<bench>BenchmarkRun|BenchmarkRunLockstep)"
+    r"/(?P<engine>[\w-]+)/(?P<work>[\w=/.]+?)(?:-\d+)?\s+\d+\s+(?P<metrics>.*)$"
+)
+TRIALS_PER_SEC = re.compile(r"([\d.e+]+) trials/s")
+
+
+def lockstep_main(src):
+    """--lockstep mode: enforce the lockstep engine's throughput floor."""
+    best = {}  # (bench, engine, workload) -> max trials/s across repeats
+    for line in src:
+        m = BENCH_LINE.match(line.strip())
+        if not m:
+            continue
+        t = TRIALS_PER_SEC.search(m.group("metrics"))
+        if not t:
+            continue
+        key = (m.group("bench"), m.group("engine"), m.group("work"))
+        best[key] = max(best.get(key, 0.0), float(t.group(1)))
+
+    scalar = {w: v for (b, e, w), v in best.items() if b == "BenchmarkRun" and e == "pooled"}
+    lockstep = {
+        w: v
+        for (b, e, w), v in best.items()
+        if b == "BenchmarkRunLockstep" and e == "lockstep-pooled"
+    }
+    shared = sorted(set(scalar) & set(lockstep))
+    if not shared:
+        print(
+            "benchdiff --lockstep: no shared pooled/lockstep-pooled workloads found "
+            "(run both BenchmarkRun and BenchmarkRunLockstep with trials/s metrics)",
+            file=sys.stderr,
+        )
+        return 1
+
+    ok = True
+    for work in shared:
+        base, fast = scalar[work], lockstep[work]
+        if base <= 0:
+            continue
+        ratio = fast / base
+        if ratio < LOCKSTEP_FLOOR:
+            status, ok = "REGRESSION", False
+        elif ratio < LOCKSTEP_TARGET:
+            status = "WARN"
+        else:
+            status = "ok"
+        print(
+            f"{status:10}  {work}: scalar={base:.1f} lockstep={fast:.1f} trials/s "
+            f"({ratio:.1f}x; floor {LOCKSTEP_FLOOR:.0f}x, target {LOCKSTEP_TARGET:.0f}x)"
+        )
+    if not ok:
+        print(
+            f"benchdiff --lockstep: lockstep throughput fell below the hard "
+            f"{LOCKSTEP_FLOOR:.0f}x floor over the pooled scalar engine",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchdiff --lockstep: floor holds across {len(shared)} workloads")
+    return 0
+
+
 def main():
+    if "--lockstep" in sys.argv:
+        argv = [a for a in sys.argv if a != "--lockstep"]
+        sys.exit(lockstep_main(open(argv[1]) if len(argv) > 1 else sys.stdin))
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
     with open(sys.argv[1]) as f:

@@ -50,6 +50,51 @@ func TestSolveMatchesFacades(t *testing.T) {
 	}
 }
 
+// TestSolveManyMatchesSolve pins the batch-API contract at the facade:
+// SolveMany over TrialSeed-derived seeds returns, trial for trial, the
+// bit-identical result of single-trial Solve calls — on both engines —
+// and LockstepCapable agrees with the per-algorithm capability flags.
+func TestSolveManyMatchesSolve(t *testing.T) {
+	g := radiomis.GNP(96, 6.0/96, 11)
+	p := radiomis.DefaultParams(g.N(), g.MaxDegree())
+	seeds := make([]uint64, 67) // crosses the 64-lane group boundary
+	for i := range seeds {
+		seeds[i] = radiomis.TrialSeed(42, uint64(i))
+	}
+	for _, algo := range []string{"cd", "nocd"} { // lockstep-capable and not
+		for _, engine := range []string{radiomis.EngineAuto, radiomis.EngineScalar} {
+			results, err := radiomis.SolveMany(g, radiomis.ManySpec{
+				Spec:   radiomis.Spec{Algorithm: algo, Params: p},
+				Seeds:  seeds,
+				Engine: engine,
+			})
+			if err != nil {
+				t.Fatalf("SolveMany(%s, %q): %v", algo, engine, err)
+			}
+			if len(results) != len(seeds) {
+				t.Fatalf("SolveMany(%s, %q): %d results, want %d", algo, engine, len(results), len(seeds))
+			}
+			for _, i := range []int{0, 63, 64, 66} {
+				want, err := radiomis.Solve(g, radiomis.Spec{Algorithm: algo, Params: p, Seed: seeds[i]})
+				if err != nil {
+					t.Fatalf("Solve: %v", err)
+				}
+				if !reflect.DeepEqual(results[i], want) {
+					t.Errorf("SolveMany(%s, %q) trial %d diverges from Solve at the same seed", algo, engine, i)
+				}
+			}
+		}
+	}
+	if !radiomis.LockstepCapable("cd") || radiomis.LockstepCapable("nocd") {
+		t.Error("LockstepCapable: want cd capable, nocd not")
+	}
+	if _, err := radiomis.SolveMany(g, radiomis.ManySpec{
+		Spec: radiomis.Spec{Algorithm: "nocd", Params: p}, Seeds: seeds[:1], Engine: radiomis.EngineLockstep,
+	}); err == nil {
+		t.Error("forced lockstep on a lane-less algorithm succeeded")
+	}
+}
+
 // TestSolveUnknownAlgorithm checks the discovery affordance: the error for
 // a bad name lists every registered algorithm.
 func TestSolveUnknownAlgorithm(t *testing.T) {
