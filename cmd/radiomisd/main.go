@@ -30,6 +30,15 @@
 // coordinator's view of its workers. Note the worker list rides on
 // -coordinator itself: -workers has always been the executor pool size.
 //
+// A coordinator also runs the cluster observability plane: it pulls each
+// worker's /v1/telemetry snapshot every -federate-interval and serves a
+// federated /metrics (per-worker samples plus a worker="cluster"
+// aggregate), re-emits worker shard progress on the fanned-out job's own
+// /events stream with worker/shard attribution, and stitches worker spans
+// into /debug/traces so one trace spans coordinator and workers. With
+// -cluster-degrade=false a fan-out that loses every worker fails instead
+// of running locally, and /readyz turns 503 while all workers are dead.
+//
 // The daemon traces by default: every /v1 request runs under a root span
 // (continuing an inbound W3C traceparent), jobs hang their span trees
 // beneath it down to engine round slices, and GET /debug/traces serves
@@ -88,6 +97,8 @@ func run(args []string) error {
 		coordinator  = fs.String("coordinator", "", "comma-separated worker daemon URLs; non-empty runs this daemon as a cluster coordinator")
 		shardsPer    = fs.Int("shards-per-worker", 2, "coordinator fan-out granularity: max shards per worker per job")
 		liveness     = fs.Duration("cluster-liveness", 30*time.Second, "coordinator declares a worker dead after this much event-stream silence")
+		fedInterval  = fs.Duration("federate-interval", 15*time.Second, "how often the coordinator pulls worker telemetry snapshots (negative disables federation)")
+		degrade      = fs.Bool("cluster-degrade", true, "run fan-outs locally when every worker is lost (false fails the job and turns /readyz red)")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat    = fs.String("log-format", "text", "log format: text or json")
 		version      = fs.Bool("version", false, "print build information and exit")
@@ -157,18 +168,23 @@ func run(args []string) error {
 		}
 		var err error
 		coord, err = cluster.New(cluster.Options{
-			Workers:         urls,
-			ShardsPerWorker: *shardsPer,
-			Liveness:        *liveness,
-			Registry:        reg,
-			Logger:          log,
+			Workers:          urls,
+			ShardsPerWorker:  *shardsPer,
+			Liveness:         *liveness,
+			DisableFallback:  !*degrade,
+			FederateInterval: *fedInterval,
+			Tracer:           tracer,
+			Registry:         reg,
+			Logger:           log,
 		})
 		if err != nil {
 			return err
 		}
+		defer coord.Close()
 		executor = coord.Executor()
 		log.Info("coordinator mode", "workers", urls,
-			"shardsPerWorker", *shardsPer, "liveness", *liveness)
+			"shardsPerWorker", *shardsPer, "liveness", *liveness,
+			"federateInterval", *fedInterval, "degrade", *degrade)
 	}
 
 	mgr := server.New(server.Options{
@@ -187,7 +203,17 @@ func run(args []string) error {
 		hopts = append(hopts, server.WithPprof())
 	}
 	if coord != nil {
-		hopts = append(hopts, server.WithClusterStatus(func() any { return coord.Status() }))
+		// The coordinator's observability plane: federated /metrics and
+		// /v1/cluster, worker liveness on /readyz, and on-demand stitching
+		// of worker spans into /debug/traces.
+		hopts = append(hopts,
+			server.WithClusterStatus(func() any { return coord.Status() }),
+			server.WithFederatedMetrics(coord.WorkerSnapshots),
+			server.WithClusterReadiness(coord.Readiness),
+		)
+		if tracer != nil {
+			hopts = append(hopts, server.WithTraceImport(coord.StitchTrace))
+		}
 	}
 	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr, hopts...)}
 

@@ -23,6 +23,7 @@ import (
 
 	"radiomis/internal/retry"
 	"radiomis/internal/server"
+	"radiomis/internal/telemetry"
 	"radiomis/internal/trace"
 )
 
@@ -194,6 +195,29 @@ func (c *Client) Ready(ctx context.Context) error {
 	return c.doJSON(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
+// Telemetry fetches and validates the worker's telemetry snapshot
+// (GET /v1/telemetry) — the coordinator's federation pull.
+func (c *Client) Telemetry(ctx context.Context) (telemetry.RegistrySnapshot, error) {
+	var snap telemetry.RegistrySnapshot
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/telemetry", nil, &snap); err != nil {
+		return telemetry.RegistrySnapshot{}, err
+	}
+	if err := snap.Validate(); err != nil {
+		return telemetry.RegistrySnapshot{}, fmt.Errorf("cluster: telemetry from %s: %w", c.base, err)
+	}
+	return snap, nil
+}
+
+// Traces fetches the worker's retained spans for one trace
+// (GET /debug/traces?trace=<id>) — the coordinator's trace-stitching pull.
+func (c *Client) Traces(ctx context.Context, traceID string) (*server.TraceList, error) {
+	var tl server.TraceList
+	if err := c.doJSON(ctx, http.MethodGet, "/debug/traces?trace="+traceID, nil, &tl); err != nil {
+		return nil, err
+	}
+	return &tl, nil
+}
+
 // WaitJob follows a job's event stream until it reaches a terminal
 // state, then returns the final status (with result). Every stream line
 // — progress, perf, and the idle-stream heartbeats — resets the liveness
@@ -203,6 +227,15 @@ func (c *Client) Ready(ctx context.Context) error {
 // loss) falls back to one status probe before reporting the error, in
 // case the job finished in the gap.
 func (c *Client) WaitJob(ctx context.Context, id string, liveness time.Duration) (*server.JobStatus, error) {
+	return c.WaitJobFunc(ctx, id, liveness, nil)
+}
+
+// WaitJobFunc is WaitJob with a tap on the stream: onLine (when non-nil)
+// receives every raw JSONL event line as it arrives — heartbeats included
+// — before the terminal-state check. A coordinator uses it to re-emit a
+// worker shard's progress, attributed, on the fanned-out job's own event
+// stream. The line buffer is only valid for the duration of the call.
+func (c *Client) WaitJobFunc(ctx context.Context, id string, liveness time.Duration, onLine func(line []byte)) (*server.JobStatus, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
@@ -258,6 +291,9 @@ func (c *Client) WaitJob(ctx context.Context, id string, liveness time.Duration)
 				<-timer.C
 			}
 			timer.Reset(liveness)
+			if onLine != nil {
+				onLine(lo.line)
+			}
 			var ev struct {
 				Ev    string `json:"ev"`
 				State string `json:"state"`

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -35,6 +36,21 @@ type Options struct {
 	// jobs, single-trial solves, and fan-outs that lose every worker
 	// (default server.ExecuteLocal).
 	Fallback server.ExecuteFunc
+	// DisableFallback turns the lose-every-worker degradation off: a
+	// fan-out with no live workers fails the job instead of silently
+	// running it on the coordinator. Unsharded kinds still run locally.
+	// GET /readyz reports a coordinator with all workers dead and
+	// degradation disabled as not ready.
+	DisableFallback bool
+	// FederateInterval is how often the coordinator pulls each worker's
+	// /v1/telemetry snapshot for the federated /metrics and /v1/cluster
+	// views (default 15s; negative disables federation polling).
+	FederateInterval time.Duration
+	// Tracer, when non-nil, receives the workers' spans during trace
+	// stitching (StitchTrace): pass the same tracer the server.Manager
+	// runs with, so pulled worker spans land in the ring /debug/traces
+	// serves.
+	Tracer *trace.Tracer
 	// Registry receives the radiomisd_cluster_* metric families (optional).
 	Registry *telemetry.Registry
 	// Logger receives fan-out and steal logs (default slog.Default()).
@@ -64,6 +80,26 @@ type Coordinator struct {
 	locals  uint64
 	shards  uint64
 	stolen  uint64
+
+	// Federation poller state: the latest telemetry snapshot pulled from
+	// each worker (by client index), guarded by fedMu; the poller goroutine
+	// runs from New until Close.
+	fedMu    sync.Mutex
+	fedSnaps []fedSnapshot
+	fedStop  chan struct{}
+	fedWG    sync.WaitGroup
+
+	// stitchMu serializes StitchTrace: the dedup-against-the-ring pass and
+	// the imports must be atomic, or a concurrent on-demand stitch and the
+	// post-fanout auto-stitch would both import the same remote spans.
+	stitchMu sync.Mutex
+}
+
+// fedSnapshot is one worker's most recent federation pull.
+type fedSnapshot struct {
+	snap    telemetry.RegistrySnapshot
+	at      time.Time // zero until the first successful pull
+	lastErr string
 }
 
 // workerInfo is per-worker bookkeeping behind GET /v1/cluster.
@@ -87,6 +123,9 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	if opts.Fallback == nil {
 		opts.Fallback = server.ExecuteLocal
+	}
+	if opts.FederateInterval == 0 {
+		opts.FederateInterval = 15 * time.Second
 	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
@@ -112,7 +151,24 @@ func New(opts Options) (*Coordinator, error) {
 		c.met.workersConfigured.Set(int64(len(c.clients)))
 		c.met.workersLive.Set(int64(len(c.clients)))
 	}
+	c.fedSnaps = make([]fedSnapshot, len(c.clients))
+	c.fedStop = make(chan struct{})
+	if opts.FederateInterval > 0 {
+		c.fedWG.Add(1)
+		go c.federate()
+	}
 	return c, nil
+}
+
+// Close stops the federation poller. Jobs in flight are unaffected; call
+// it after the manager has drained.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.fedStop:
+	default:
+		close(c.fedStop)
+	}
+	c.fedWG.Wait()
 }
 
 // clusterMetrics is the radiomisd_cluster_* family set; nil when the
@@ -222,7 +278,14 @@ func (c *Coordinator) Executor() server.ExecuteFunc {
 		if ctx.Err() != nil || isFatal(err) {
 			return nil, err
 		}
+		if c.opts.DisableFallback {
+			return nil, fmt.Errorf("cluster: fan-out failed and degradation is disabled: %w", err)
+		}
 		c.opts.Logger.Warn("cluster: fan-out failed, running job locally", "error", err.Error())
+		server.EmitEvent(ctx, server.ShardEvent{
+			Ev: "shard", Worker: "coordinator", Shard: -1,
+			State: "degraded", Error: err.Error(),
+		})
 		c.noteLocal()
 		return c.opts.Fallback(ctx, req)
 	}
@@ -276,7 +339,7 @@ func (c *Coordinator) runSolve(ctx context.Context, req server.JobRequest) (*ser
 					return
 				case si = <-queue:
 				}
-				rows, err := c.runShard(fctx, cl, req, shards[si])
+				rows, err := c.runShard(fctx, cl, req, si, shards[si])
 				if err == nil {
 					results[si] = rows
 					c.noteShardDone(wi)
@@ -292,6 +355,13 @@ func (c *Coordinator) runSolve(ctx context.Context, req server.JobRequest) (*ser
 				}
 				// Worker-level failure: put the shard back for the others to
 				// steal and retire this worker for the rest of the fan-out.
+				// The stolen event goes out before the requeue so the stream
+				// never shows the shard running elsewhere before its theft.
+				server.EmitEvent(fctx, server.ShardEvent{
+					Ev: "shard", Worker: cl.Base(), Shard: si,
+					TrialOffset: shards[si].off, Trials: shards[si].n,
+					State: "stolen", Error: err.Error(),
+				})
 				queue <- si
 				c.noteWorkerDead(wi, err)
 				c.opts.Logger.Warn("cluster: stealing shard from worker",
@@ -322,6 +392,18 @@ func (c *Coordinator) runSolve(ctx context.Context, req server.JobRequest) (*ser
 	if c.met != nil {
 		c.met.fanoutSeconds.ObserveDuration(time.Since(start))
 	}
+	// Pull the workers' spans for this trace now, while their rings still
+	// hold them, so /debug/traces serves the connected cross-node tree
+	// without waiting for an on-demand stitch. Workers end their job spans
+	// just after streaming the terminal event, hence best-effort here —
+	// the on-demand path (GET /debug/traces?trace=) catches stragglers.
+	if tid := sp.Context().Trace; c.opts.Tracer != nil && !tid.IsZero() {
+		go func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			c.StitchTrace(sctx, tid.String())
+		}()
+	}
 	return res, nil
 }
 
@@ -329,8 +411,10 @@ func (c *Coordinator) runSolve(ctx context.Context, req server.JobRequest) (*ser
 // follow the event stream under the liveness deadline, and validate the
 // returned rows. Errors are fatal when stealing cannot help (the shard
 // job itself failed, the request is rejected as malformed) and plain when
-// the worker looks dead or wedged.
-func (c *Coordinator) runShard(ctx context.Context, cl *Client, req server.JobRequest, sh shard) ([]server.TrialRow, error) {
+// the worker looks dead or wedged. The shard's dispatch, worker-side
+// progress, and completion are re-emitted on the fanned-out job's own
+// event stream as attributed shard events.
+func (c *Coordinator) runShard(ctx context.Context, cl *Client, req server.JobRequest, si int, sh shard) ([]server.TrialRow, error) {
 	start := time.Now()
 	ctx, sp := trace.Start(ctx, "cluster.shard",
 		trace.A("worker", cl.Base()), trace.A("trialOffset", sh.off), trace.A("trials", sh.n))
@@ -356,9 +440,14 @@ func (c *Coordinator) runShard(ctx context.Context, cl *Client, req server.JobRe
 	jobID := st.ID
 	sp.SetAttr("jobId", jobID)
 	sp.SetAttr("cached", st.Cached)
+	server.EmitEvent(ctx, server.ShardEvent{
+		Ev: "shard", Worker: cl.Base(), Shard: si,
+		TrialOffset: sh.off, Trials: sh.n,
+		State: "running", TraceID: st.TraceID,
+	})
 
 	if !isTerminalState(st.State) {
-		st, err = cl.WaitJob(ctx, jobID, c.opts.Liveness)
+		st, err = cl.WaitJobFunc(ctx, jobID, c.opts.Liveness, c.reemit(ctx, cl.Base(), si, sh))
 		if err != nil {
 			// The worker may be gone, but if it is merely wedged, stop it
 			// from burning CPU on a shard someone else will redo.
@@ -374,6 +463,11 @@ func (c *Coordinator) runShard(ctx context.Context, cl *Client, req server.JobRe
 	switch st.State {
 	case server.StateDone:
 	case server.StateFailed:
+		server.EmitEvent(ctx, server.ShardEvent{
+			Ev: "shard", Worker: cl.Base(), Shard: si,
+			TrialOffset: sh.off, Trials: sh.n,
+			State: "failed", Error: st.Error,
+		})
 		return nil, fatal(fmt.Errorf("cluster: shard job %s failed on %s: %s", st.ID, cl.Base(), st.Error))
 	default:
 		// Canceled on the worker (drain, operator action): not our doing,
@@ -387,7 +481,34 @@ func (c *Coordinator) runShard(ctx context.Context, cl *Client, req server.JobRe
 	if c.met != nil {
 		c.met.shardSeconds.ObserveDuration(time.Since(start))
 	}
+	server.EmitEvent(ctx, server.ShardEvent{
+		Ev: "shard", Worker: cl.Base(), Shard: si,
+		TrialOffset: sh.off, Trials: sh.n, State: "done",
+	})
 	return st.Result.Solve.Rows, nil
+}
+
+// reemit adapts a worker shard's raw event-stream lines into attributed
+// shard events on the fanned-out job's stream. Only worker progress lines
+// are re-emitted; heartbeats are liveness plumbing, state/perf lines are
+// covered by the coordinator's own running/done/failed/stolen events.
+func (c *Coordinator) reemit(ctx context.Context, worker string, si int, sh shard) func(line []byte) {
+	return func(line []byte) {
+		var ev struct {
+			Ev    string `json:"ev"`
+			Stage string `json:"stage"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		}
+		if json.Unmarshal(line, &ev) != nil || ev.Ev != "progress" {
+			return
+		}
+		server.EmitEvent(ctx, server.ShardEvent{
+			Ev: "shard", Worker: worker, Shard: si,
+			TrialOffset: sh.off, Trials: sh.n,
+			Stage: ev.Stage, Done: ev.Done, Total: ev.Total,
+		})
+	}
 }
 
 func shardRowCount(st *server.JobStatus) int {
@@ -466,6 +587,9 @@ type Status struct {
 	ShardsDone      uint64         `json:"shardsDone"`
 	ShardsStolen    uint64         `json:"shardsStolen"`
 	Workers         []WorkerStatus `json:"workers"`
+	// Federation is the telemetry-federation view (per-worker pull state
+	// plus the merged cluster snapshot); absent when polling is disabled.
+	Federation *FederationStatus `json:"federation,omitempty"`
 }
 
 // WorkerStatus is one worker's entry in Status.
@@ -496,6 +620,7 @@ func (c *Coordinator) Status() Status {
 			URL: w.url, Live: w.live, ShardsDone: w.shardsDone, LastError: w.lastErr,
 		})
 	}
+	s.Federation = c.federationStatus()
 	return s
 }
 

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"radiomis/internal/server"
+	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
+)
+
+// Telemetry federation: the coordinator periodically pulls every worker's
+// GET /v1/telemetry snapshot and retains the latest one per worker. The
+// retained snapshots feed three read paths — the federated Prometheus
+// exposition (per-worker samples plus a worker="cluster" aggregate on the
+// coordinator's /metrics), the federation section of GET /v1/cluster, and
+// WorkerSnapshots for anything else that wants the raw fleet view. Trace
+// stitching rides the same pull model: StitchTrace fetches one trace's
+// spans from each worker's /debug/traces and imports them into the
+// coordinator's span ring, reassembling the cross-process tree.
+
+// federate is the poller goroutine: one pull sweep per FederateInterval
+// until Close.
+func (c *Coordinator) federate() {
+	defer c.fedWG.Done()
+	ticker := time.NewTicker(c.opts.FederateInterval)
+	defer ticker.Stop()
+	// Pull once immediately so the federated views are populated as soon
+	// as the workers answer, not one interval later.
+	c.pollWorkers()
+	for {
+		select {
+		case <-c.fedStop:
+			return
+		case <-ticker.C:
+			c.pollWorkers()
+		}
+	}
+}
+
+// pollWorkers pulls every worker's telemetry snapshot concurrently and
+// stores the results. A failed pull keeps the worker's previous snapshot
+// (stale beats absent for dashboards) and records the error for
+// GET /v1/cluster.
+func (c *Coordinator) pollWorkers() {
+	// Bound each sweep so a wedged worker cannot stall the poller past the
+	// next tick.
+	timeout := c.opts.FederateInterval
+	if timeout <= 0 || timeout > 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	type pull struct {
+		snap telemetry.RegistrySnapshot
+		err  error
+	}
+	pulls := make([]pull, len(c.clients))
+	done := make(chan int, len(c.clients))
+	for i, cl := range c.clients {
+		go func(i int, cl *Client) {
+			snap, err := cl.Telemetry(ctx)
+			pulls[i] = pull{snap: snap, err: err}
+			done <- i
+		}(i, cl)
+	}
+	for range c.clients {
+		<-done
+	}
+
+	now := time.Now()
+	c.fedMu.Lock()
+	for i, p := range pulls {
+		if p.err != nil {
+			c.fedSnaps[i].lastErr = p.err.Error()
+			continue
+		}
+		c.fedSnaps[i] = fedSnapshot{snap: p.snap, at: now}
+	}
+	c.fedMu.Unlock()
+}
+
+// WorkerSnapshots returns the latest successfully pulled telemetry
+// snapshot per worker, for telemetry.WriteFederatedPrometheus. Workers
+// that have never answered are omitted.
+func (c *Coordinator) WorkerSnapshots() []telemetry.WorkerSnapshot {
+	c.fedMu.Lock()
+	defer c.fedMu.Unlock()
+	out := make([]telemetry.WorkerSnapshot, 0, len(c.fedSnaps))
+	for i, fs := range c.fedSnaps {
+		if fs.at.IsZero() {
+			continue
+		}
+		out = append(out, telemetry.WorkerSnapshot{Worker: c.clients[i].Base(), Snap: fs.snap})
+	}
+	return out
+}
+
+// FederationStatus is the telemetry-federation section of GET /v1/cluster.
+type FederationStatus struct {
+	IntervalMs float64 `json:"intervalMs"`
+	// Workers reports each worker's pull state; Merged is the cluster-wide
+	// aggregate of every worker snapshot (the same merge the federated
+	// /metrics aggregate uses), absent until at least one pull succeeds.
+	Workers []WorkerTelemetry           `json:"workers"`
+	Merged  *telemetry.RegistrySnapshot `json:"merged,omitempty"`
+}
+
+// WorkerTelemetry is one worker's federation-pull state.
+type WorkerTelemetry struct {
+	URL string `json:"url"`
+	// AgeMs is how stale the worker's retained snapshot is; absent until
+	// the first successful pull.
+	AgeMs    *float64 `json:"ageMs,omitempty"`
+	Families int      `json:"families,omitempty"`
+	// LastError is the most recent pull failure; it persists alongside a
+	// stale snapshot until a pull succeeds again.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// federationStatus snapshots the poller state for GET /v1/cluster.
+func (c *Coordinator) federationStatus() *FederationStatus {
+	if c.opts.FederateInterval <= 0 {
+		return nil
+	}
+	c.fedMu.Lock()
+	defer c.fedMu.Unlock()
+	fs := &FederationStatus{IntervalMs: float64(c.opts.FederateInterval) / float64(time.Millisecond)}
+	var merged *telemetry.RegistrySnapshot
+	now := time.Now()
+	for i, snap := range c.fedSnaps {
+		wt := WorkerTelemetry{URL: c.clients[i].Base(), LastError: snap.lastErr}
+		if !snap.at.IsZero() {
+			age := float64(now.Sub(snap.at)) / float64(time.Millisecond)
+			wt.AgeMs = &age
+			wt.Families = len(snap.snap.Families)
+			if merged == nil {
+				m := telemetry.RegistrySnapshot{Schema: telemetry.SnapshotSchema}
+				merged = &m
+			}
+			merged.Merge(snap.snap)
+		}
+		fs.Workers = append(fs.Workers, wt)
+	}
+	fs.Merged = merged
+	return fs
+}
+
+// Readiness summarizes worker liveness for the coordinator's GET /readyz
+// (see server.WithClusterReadiness).
+func (c *Coordinator) Readiness() server.ClusterReadiness {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cr := server.ClusterReadiness{DegradeEnabled: !c.opts.DisableFallback}
+	for _, w := range c.workers {
+		if w.live {
+			cr.WorkersLive++
+		} else {
+			cr.WorkersDead++
+		}
+	}
+	return cr
+}
+
+// StitchTrace pulls traceID's spans from every worker's /debug/traces and
+// imports the ones the coordinator's ring does not already hold, so the
+// coordinator serves the connected cross-process tree (http.request →
+// cluster.fanout → cluster.shard on the coordinator, job → harness.repeat
+// → engine.rounds on the workers). Best-effort: unreachable workers and
+// malformed spans are skipped; duplicate pulls are idempotent. It is
+// installed as the server's on-demand trace importer
+// (server.WithTraceImport) and also runs after each fan-out completes.
+func (c *Coordinator) StitchTrace(ctx context.Context, traceID string) {
+	tr := c.opts.Tracer
+	if tr == nil {
+		return
+	}
+	tid, ok := trace.ParseTraceID(traceID)
+	if !ok {
+		return
+	}
+	c.stitchMu.Lock()
+	defer c.stitchMu.Unlock()
+	seen := make(map[trace.SpanID]bool)
+	for _, sp := range tr.Spans() {
+		if sp.Trace == tid {
+			seen[sp.ID] = true
+		}
+	}
+	for _, cl := range c.clients {
+		tl, err := cl.Traces(ctx, traceID)
+		if err != nil {
+			c.opts.Logger.Debug("cluster: trace pull failed", "worker", cl.Base(), "traceId", traceID, "error", err.Error())
+			continue
+		}
+		imported := 0
+		for i := range tl.Spans {
+			sp, ok := spanFromWire(&tl.Spans[i])
+			if !ok || sp.Trace != tid || seen[sp.ID] {
+				continue
+			}
+			if tr.ImportSpan(sp) {
+				seen[sp.ID] = true
+				imported++
+			}
+		}
+		if imported > 0 {
+			c.opts.Logger.Debug("cluster: stitched remote spans", "worker", cl.Base(), "traceId", traceID, "spans", imported)
+		}
+	}
+}
+
+// spanFromWire reconstructs a span from its /debug/traces JSON form.
+// Attributes come back sorted by key — the wire carries them as an
+// unordered object, so a stable order keeps re-stitches deterministic.
+func spanFromWire(ts *server.TraceSpan) (*trace.Span, bool) {
+	tid, ok := trace.ParseTraceID(ts.TraceID)
+	if !ok {
+		return nil, false
+	}
+	sid, ok := trace.ParseSpanID(ts.SpanID)
+	if !ok {
+		return nil, false
+	}
+	sp := &trace.Span{
+		Name:      ts.Name,
+		Trace:     tid,
+		ID:        sid,
+		StartTime: ts.Start,
+		EndTime:   ts.Start.Add(time.Duration(ts.DurationMs * float64(time.Millisecond))),
+	}
+	if ts.ParentID != "" {
+		pid, ok := trace.ParseSpanID(ts.ParentID)
+		if !ok {
+			return nil, false
+		}
+		sp.Parent = pid
+	}
+	if len(ts.Attrs) > 0 {
+		keys := make([]string, 0, len(ts.Attrs))
+		for k := range ts.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sp.Attrs = make([]trace.Attr, 0, len(keys))
+		for _, k := range keys {
+			sp.Attrs = append(sp.Attrs, trace.Attr{Key: k, Value: ts.Attrs[k]})
+		}
+	}
+	return sp, true
+}

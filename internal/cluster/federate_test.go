@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"radiomis/internal/harness"
+	"radiomis/internal/server"
+	"radiomis/internal/telemetry"
+	"radiomis/internal/trace"
+)
+
+// counterValue digs a plain counter out of a snapshot (0 when absent).
+func counterValue(s telemetry.RegistrySnapshot, name string) uint64 {
+	for i := range s.Families {
+		if s.Families[i].Name == name && s.Families[i].Counter != nil {
+			return *s.Families[i].Counter
+		}
+	}
+	return 0
+}
+
+// histCount digs a histogram's observation count out of a snapshot.
+func histCount(s telemetry.RegistrySnapshot, name string) uint64 {
+	for i := range s.Families {
+		if s.Families[i].Name == name && s.Families[i].Hist != nil {
+			return s.Families[i].Hist.Count
+		}
+	}
+	return 0
+}
+
+func TestFederationMergesWorkerTelemetry(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c, err := New(Options{
+		Workers:          []string{w1.URL, w2.URL},
+		ShardsPerWorker:  2,
+		Liveness:         5 * time.Second,
+		Retry:            fastRetry,
+		FederateInterval: time.Hour, // poll manually below for determinism
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	req := solveReq(t, 8)
+	if _, err := c.Executor()(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// The workers fold a job's telemetry into their daemon registry at
+	// finish, which races the terminal event the coordinator waited on —
+	// poll until both workers' trial counters cover the whole job.
+	var snaps []telemetry.WorkerSnapshot
+	var sum uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.pollWorkers()
+		snaps = c.WorkerSnapshots()
+		sum = 0
+		for _, ws := range snaps {
+			sum += counterValue(ws.Snap, harness.MetricTrialsTotal)
+		}
+		if len(snaps) == 2 && sum == uint64(req.Trials) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("WorkerSnapshots returned %d snapshots, want 2", len(snaps))
+	}
+	if sum != uint64(req.Trials) {
+		t.Fatalf("workers report %d trials total, want %d", sum, req.Trials)
+	}
+	for _, ws := range snaps {
+		if v := counterValue(ws.Snap, harness.MetricTrialsTotal); v == 0 {
+			t.Errorf("worker %s reports 0 trials — shards did not spread", ws.Worker)
+		}
+	}
+
+	fed := c.Status().Federation
+	if fed == nil {
+		t.Fatal("Status().Federation is nil with polling enabled")
+	}
+	if len(fed.Workers) != 2 {
+		t.Fatalf("federation reports %d workers, want 2", len(fed.Workers))
+	}
+	for _, wt := range fed.Workers {
+		if wt.AgeMs == nil {
+			t.Errorf("worker %s has no snapshot age after a successful pull", wt.URL)
+		}
+		if wt.LastError != "" {
+			t.Errorf("worker %s has pull error %q", wt.URL, wt.LastError)
+		}
+	}
+	if fed.Merged == nil {
+		t.Fatal("federation has no merged snapshot")
+	}
+	// The acceptance bar: the merged trial-duration histogram's count must
+	// equal the sum of the per-worker counts.
+	var wantHist uint64
+	for _, ws := range snaps {
+		wantHist += histCount(ws.Snap, harness.MetricTrialSeconds)
+	}
+	if wantHist != uint64(req.Trials) {
+		t.Fatalf("per-worker %s counts sum to %d, want %d", harness.MetricTrialSeconds, wantHist, req.Trials)
+	}
+	if got := histCount(*fed.Merged, harness.MetricTrialSeconds); got != wantHist {
+		t.Errorf("merged %s count = %d, want %d (sum of workers)", harness.MetricTrialSeconds, got, wantHist)
+	}
+	if got := counterValue(*fed.Merged, harness.MetricTrialsTotal); got != sum {
+		t.Errorf("merged %s = %d, want %d", harness.MetricTrialsTotal, got, sum)
+	}
+}
+
+func TestFederationRecordsPullErrors(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c, err := New(Options{
+		Workers:          []string{dead.URL},
+		Retry:            fastRetry,
+		FederateInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.pollWorkers()
+	if snaps := c.WorkerSnapshots(); len(snaps) != 0 {
+		t.Errorf("WorkerSnapshots = %d entries for an unreachable worker, want 0", len(snaps))
+	}
+	fed := c.Status().Federation
+	if fed == nil {
+		t.Fatal("Status().Federation is nil")
+	}
+	if fed.Workers[0].LastError == "" {
+		t.Error("unreachable worker has no LastError")
+	}
+	if fed.Workers[0].AgeMs != nil {
+		t.Error("unreachable worker has a snapshot age")
+	}
+	if fed.Merged != nil {
+		t.Error("merged snapshot present with zero successful pulls")
+	}
+}
+
+func TestReadinessCountsWorkers(t *testing.T) {
+	live := newWorker(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c, err := New(Options{
+		Workers:          []string{dead.URL, live.URL},
+		ShardsPerWorker:  1,
+		Liveness:         5 * time.Second,
+		Retry:            fastRetry,
+		FederateInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cr := c.Readiness(); cr.WorkersLive != 2 || cr.WorkersDead != 0 || !cr.DegradeEnabled {
+		t.Errorf("initial readiness = %+v, want 2 live / 0 dead / degrade enabled", cr)
+	}
+	if _, err := c.Executor()(context.Background(), solveReq(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	cr := c.Readiness()
+	if cr.WorkersLive != 1 || cr.WorkersDead != 1 {
+		t.Errorf("readiness after fan-out = %+v, want 1 live / 1 dead", cr)
+	}
+}
+
+func TestReadyzReportsClusterDegraded(t *testing.T) {
+	m := server.New(server.Options{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+
+	cr := server.ClusterReadiness{WorkersLive: 0, WorkersDead: 2, DegradeEnabled: false}
+	var mu sync.Mutex
+	h := server.NewHandler(m, server.WithClusterReadiness(func() server.ClusterReadiness {
+		mu.Lock()
+		defer mu.Unlock()
+		return cr
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	get := func() (int, server.ReadyResponse) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr server.ReadyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rr
+	}
+
+	// All workers dead and degradation disabled: the coordinator cannot
+	// serve fan-outs, so it must not take traffic.
+	code, rr := get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readyz = %d with all workers dead and no degradation, want 503", code)
+	}
+	if rr.WorkersLive == nil || *rr.WorkersLive != 0 || rr.WorkersDead == nil || *rr.WorkersDead != 2 {
+		t.Errorf("readyz body = %+v, want workersLive=0 workersDead=2", rr)
+	}
+
+	// Same fleet but degradation enabled: local fallback keeps the
+	// coordinator serviceable.
+	mu.Lock()
+	cr.DegradeEnabled = true
+	mu.Unlock()
+	if code, _ := get(); code != http.StatusOK {
+		t.Errorf("readyz = %d with degradation enabled, want 200", code)
+	}
+
+	// A live worker flips it back regardless.
+	mu.Lock()
+	cr = server.ClusterReadiness{WorkersLive: 1, WorkersDead: 1, DegradeEnabled: false}
+	mu.Unlock()
+	if code, rr := get(); code != http.StatusOK || rr.WorkersLive == nil || *rr.WorkersLive != 1 {
+		t.Errorf("readyz = %d %+v with a live worker, want 200 workersLive=1", code, rr)
+	}
+}
+
+func TestDisableFallbackFailsJobWhenAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c, err := New(Options{Workers: []string{dead.URL}, Retry: fastRetry, DisableFallback: true, FederateInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Executor()(context.Background(), solveReq(t, 4)); err == nil {
+		t.Fatal("want error with all workers dead and DisableFallback, got nil")
+	}
+	if st := c.Status(); st.LocalExecutions != 0 {
+		t.Errorf("LocalExecutions = %d, want 0 (degradation disabled)", st.LocalExecutions)
+	}
+}
+
+// TestShardEventsReemittedOnStream drives a fan-out where one worker
+// streams progress and then dies mid-shard, and asserts the coordinator
+// re-emits the worker's progress on the job's own event stream with
+// worker/shard attribution, in causal order: running → progress → stolen
+// on the dying worker, then running → done for the same shard on the
+// survivor.
+func TestShardEventsReemittedOnStream(t *testing.T) {
+	// The dying worker: accepts its shard, streams two progress lines, then
+	// drops the connection. The status probe afterwards still says running,
+	// so the coordinator declares the worker dead and steals the shard.
+	aGotShard := make(chan struct{})
+	var once sync.Once
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(aGotShard) })
+		writeJSONT(w, server.JobStatus{ID: "j000001", State: server.StateRunning, TraceID: "0123456789abcdef0123456789abcdef"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"ev":"progress","stage":"trials","done":1,"total":2}`)
+		fmt.Fprintln(w, `{"ev":"progress","stage":"trials","done":2,"total":2}`)
+		w.(http.Flusher).Flush()
+		// Returning here closes the stream without a terminal event: the
+		// worker "dies" mid-shard.
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONT(w, server.JobStatus{ID: r.PathValue("id"), State: server.StateRunning})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONT(w, server.JobStatus{ID: r.PathValue("id"), State: server.StateCanceled})
+	})
+	dying := httptest.NewServer(mux)
+	defer dying.Close()
+
+	// The survivor: a real daemon behind a gate that holds its requests
+	// until the dying worker has received a shard, so the shard assignment
+	// is deterministic.
+	backend := newWorker(t)
+	bu, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(bu)
+	survivor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-aGotShard
+		proxy.ServeHTTP(w, r)
+	}))
+	defer survivor.Close()
+
+	c, err := New(Options{
+		Workers:          []string{dying.URL, survivor.URL},
+		ShardsPerWorker:  1,
+		Liveness:         5 * time.Second,
+		Retry:            fastRetry,
+		FederateInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []server.ShardEvent
+	ctx := server.ContextWithEventSink(context.Background(), func(ev any) {
+		se, ok := ev.(server.ShardEvent)
+		if !ok {
+			return
+		}
+		mu.Lock()
+		events = append(events, se)
+		mu.Unlock()
+	})
+
+	req := solveReq(t, 4)
+	want, err := server.ExecuteLocal(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Executor()(ctx, req)
+	if err != nil {
+		t.Fatalf("fan-out: %v", err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Errorf("result differs from single node:\n got %s\nwant %s", g, w)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Index the dying worker's shard lifecycle by position in the stream.
+	running, stolen := -1, -1
+	var progress []int
+	shard := -1
+	for i, ev := range events {
+		if ev.Worker != dying.URL {
+			continue
+		}
+		switch ev.State {
+		case "running":
+			running, shard = i, ev.Shard
+			if ev.TraceID == "" {
+				t.Error("running event carries no worker trace ID")
+			}
+		case "stolen":
+			stolen = i
+			if ev.Error == "" {
+				t.Error("stolen event carries no error")
+			}
+		case "":
+			if ev.Stage != "" {
+				progress = append(progress, i)
+			}
+		}
+	}
+	if running < 0 || stolen < 0 {
+		t.Fatalf("missing dying-worker events (running@%d stolen@%d) in %+v", running, stolen, events)
+	}
+	if len(progress) != 2 {
+		t.Fatalf("re-emitted %d progress events from dying worker, want 2: %+v", len(progress), events)
+	}
+	for _, p := range progress {
+		if p < running || p > stolen {
+			t.Errorf("progress event at %d outside running(%d)..stolen(%d) window", p, running, stolen)
+		}
+		if events[p].Shard != shard || events[p].Done == 0 || events[p].Total != 2 || events[p].Stage != "trials" {
+			t.Errorf("re-emitted progress lost attribution: %+v", events[p])
+		}
+	}
+
+	// The stolen shard must finish on the survivor, after the theft.
+	redone := -1
+	for i, ev := range events {
+		if ev.Worker == survivor.URL && ev.Shard == shard && ev.State == "done" {
+			redone = i
+		}
+	}
+	if redone < 0 {
+		t.Fatalf("stolen shard %d never reported done on the survivor: %+v", shard, events)
+	}
+	if redone < stolen {
+		t.Errorf("shard done on survivor at %d before stolen at %d", redone, stolen)
+	}
+	for _, ev := range events {
+		if ev.State == "degraded" {
+			t.Errorf("unexpected degraded event: %+v", ev)
+		}
+	}
+}
+
+func TestStitchTraceBuildsConnectedTree(t *testing.T) {
+	wtr := trace.NewSeeded(256, 7)
+	wm := server.New(server.Options{Workers: 2, EventHeartbeat: 50 * time.Millisecond, Tracer: wtr})
+	worker := httptest.NewServer(server.NewHandler(wm))
+	t.Cleanup(func() {
+		worker.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		wm.Shutdown(ctx)
+	})
+
+	ctr := trace.NewSeeded(256, 9)
+	c, err := New(Options{
+		Workers:          []string{worker.URL},
+		ShardsPerWorker:  1,
+		Liveness:         5 * time.Second,
+		Retry:            fastRetry,
+		Tracer:           ctr,
+		FederateInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, root := ctr.Start(context.Background(), "http.request")
+	if _, err := c.Executor()(ctx, solveReq(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	tid := root.Context().Trace
+
+	// Worker spans end just after the terminal event the coordinator
+	// waited on, so stitching is eventually consistent: retry until the
+	// remote spans arrive and the tree is connected.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.StitchTrace(context.Background(), tid.String())
+		local, remote, connected := stitchShape(ctr, tid)
+		if remote > 0 && connected {
+			if local < 3 { // http.request, cluster.fanout, cluster.shard
+				t.Errorf("only %d local spans in stitched trace, want ≥ 3", local)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched trace never connected: %d local spans, %d remote, connected=%v",
+				local, remote, connected)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stitchShape inspects one trace in the coordinator ring: how many spans
+// have a local tracer vs were imported, and whether every span's parent is
+// present (single connected tree rooted at the trace root).
+func stitchShape(tr *trace.Tracer, tid trace.TraceID) (local, remote int, connected bool) {
+	ids := make(map[trace.SpanID]bool)
+	var spans []*trace.Span
+	for _, sp := range tr.Spans() {
+		if sp.Trace != tid {
+			continue
+		}
+		spans = append(spans, sp)
+		ids[sp.ID] = true
+	}
+	names := make(map[string]bool)
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	// Remote spans are recognized by shape: the worker's job spans carry
+	// names the coordinator never emits locally.
+	remoteNames := map[string]bool{"job.run": true, "job.queue": true, "harness.repeat": true, "engine.rounds": true}
+	connected = len(spans) > 0
+	for _, sp := range spans {
+		if remoteNames[sp.Name] {
+			remote++
+		} else {
+			local++
+		}
+		if !sp.Parent.IsZero() && !ids[sp.Parent] {
+			connected = false
+		}
+	}
+	return local, remote, connected
+}

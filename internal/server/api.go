@@ -338,6 +338,45 @@ type perfEvent struct {
 	TraceID     string  `json:"traceId,omitempty"`
 }
 
+// ShardEvent is a line a cluster coordinator re-emits on a fanned-out
+// job's client-facing event stream, attributing one worker-shard's
+// progress: `{"ev":"shard", ...}` lines interleave with the job's own
+// state/progress/perf lines so a single /v1/jobs/{id}/events connection
+// shows the whole fan-out. State is "running" when a shard is dispatched,
+// "done"/"failed" when its worker finishes, "stolen" when a dead worker's
+// shard is requeued, and "degraded" when the coordinator abandons fan-out
+// and falls back to local execution. Progress re-emissions (worker
+// stage/done/total lines) carry an empty State.
+type ShardEvent struct {
+	Ev          string `json:"ev"` // always "shard"
+	Worker      string `json:"worker"`
+	Shard       int    `json:"shard"`
+	TrialOffset int    `json:"trialOffset,omitempty"`
+	Trials      int    `json:"trials,omitempty"`
+	State       string `json:"state,omitempty"`
+	Stage       string `json:"stage,omitempty"`
+	Done        int    `json:"done,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	Error       string `json:"error,omitempty"`
+	TraceID     string `json:"traceId,omitempty"`
+}
+
+// scalarFallbackReason explains why a normalized solve request resolved to
+// the scalar engine, for the reason-labeled fallback counter. Call only
+// when ResolveEngine returned scalar.
+func scalarFallbackReason(req JobRequest) string {
+	switch {
+	case req.Engine == mis.EngineScalar:
+		return "forced"
+	case req.Faults != nil:
+		return "faults"
+	case !mis.LockstepCapable(req.Algorithm):
+		return "algorithm"
+	default:
+		return "family"
+	}
+}
+
 // heartbeatEvent is a keep-alive line written to idle event streams every
 // Options.EventHeartbeat, so proxies and clients can distinguish a
 // long-running job from a dead connection. It is still one self-contained

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,8 +18,11 @@ import (
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	pprof   bool
-	cluster func() any
+	pprof       bool
+	cluster     func() any
+	federated   func() []telemetry.WorkerSnapshot
+	readiness   func() ClusterReadiness
+	traceImport func(ctx context.Context, traceID string)
 }
 
 // WithPprof mounts Go's net/http/pprof profiling endpoints under
@@ -38,6 +42,43 @@ func WithClusterStatus(status func() any) HandlerOption {
 	return func(c *handlerConfig) { c.cluster = status }
 }
 
+// WithFederatedMetrics turns GET /metrics into a coordinator's federated
+// exposition: the function supplies the most recently pulled worker
+// telemetry snapshots, rendered as per-worker `worker="<url>"` samples and
+// a `worker="cluster"` aggregate alongside the daemon's own families.
+func WithFederatedMetrics(workers func() []telemetry.WorkerSnapshot) HandlerOption {
+	return func(c *handlerConfig) { c.federated = workers }
+}
+
+// ClusterReadiness is a coordinator's worker-liveness summary, folded
+// into GET /readyz by WithClusterReadiness.
+type ClusterReadiness struct {
+	WorkersLive int
+	WorkersDead int
+	// DegradeEnabled reports whether the coordinator falls back to local
+	// execution when fan-out is impossible; without it, a coordinator with
+	// zero live workers cannot serve sharded work and reports not-ready.
+	DegradeEnabled bool
+}
+
+// WithClusterReadiness extends GET /readyz with live/dead worker counts.
+// When every worker is dead and local degradation is disabled the probe
+// returns 503 "no live workers", so ingresses stop routing to a
+// coordinator that can only fail submissions.
+func WithClusterReadiness(readiness func() ClusterReadiness) HandlerOption {
+	return func(c *handlerConfig) { c.readiness = readiness }
+}
+
+// WithTraceImport installs an on-demand trace stitcher: when
+// GET /debug/traces is queried with ?trace=<id>, the function is invited
+// to pull and import that trace's remote spans (a coordinator fetches its
+// workers' /debug/traces) before the local ring is snapshotted, so the
+// response is the complete cross-process tree even if the background
+// stitch has not run yet.
+func WithTraceImport(imp func(ctx context.Context, traceID string)) HandlerOption {
+	return func(c *handlerConfig) { c.traceImport = imp }
+}
+
 // NewHandler returns the radiomisd HTTP API:
 //
 //	POST   /v1/jobs             submit a job (202 created, 200 cache/dedup hit,
@@ -53,11 +94,20 @@ func WithClusterStatus(status func() any) HandlerOption {
 //	                            requests replay from an LRU plan cache
 //	GET    /v1/algorithms       discovery: registered algorithms + param knobs
 //	GET    /v1/cluster          coordinator status (only with WithClusterStatus)
+//	GET    /v1/telemetry        telemetry snapshot in the versioned JSON wire
+//	                            form coordinators federate (untraced, like
+//	                            /metrics)
 //	GET    /healthz             liveness probe + build information
 //	GET    /readyz              readiness probe (503 while replaying the WAL
-//	                            at startup or draining at shutdown)
-//	GET    /metrics             Prometheus text exposition (format 0.0.4)
-//	GET    /debug/traces        recent spans (json; ?format=chrome|otlp)
+//	                            at startup or draining at shutdown; on a
+//	                            coordinator, also worker liveness — 503 when
+//	                            all workers are dead and degradation is off)
+//	GET    /metrics             Prometheus text exposition (format 0.0.4);
+//	                            federated per-worker + cluster samples on a
+//	                            coordinator (WithFederatedMetrics)
+//	GET    /debug/traces        recent spans (json; ?format=chrome|otlp;
+//	                            ?trace=<id> filters to — and, on a
+//	                            coordinator, stitches — one trace tree)
 //	GET    /debug/pprof/...     Go profiling endpoints (only with WithPprof)
 //
 // When the manager has a tracer, every /v1 request runs under a root span:
@@ -111,22 +161,33 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 		// sending jobs to a worker that is still replaying its WAL or has
 		// begun draining — before it actually goes away.
 		ready, reason := m.Ready()
-		if ready {
-			writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready", Schema: SchemaVersion})
-			return
+		resp := ReadyResponse{Status: "ready", Schema: SchemaVersion}
+		status := http.StatusOK
+		if !ready {
+			resp.Status, status = reason, http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: reason, Schema: SchemaVersion})
+		if cfg.readiness != nil {
+			cr := cfg.readiness()
+			resp.WorkersLive, resp.WorkersDead = &cr.WorkersLive, &cr.WorkersDead
+			if ready && cr.WorkersLive == 0 && !cr.DegradeEnabled {
+				resp.Status, status = "no live workers", http.StatusServiceUnavailable
+			}
+		}
+		writeJSON(w, status, resp)
 	})
 	if cfg.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, cfg.cluster())
 		})
 	}
+	mux.HandleFunc("GET /v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.TelemetrySnapshot())
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(m, w)
+		handleMetrics(m, &cfg, w)
 	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		handleTraces(m, w, r)
+		handleTraces(m, &cfg, w, r)
 	})
 	if cfg.pprof {
 		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} itself,
@@ -150,7 +211,9 @@ func NewHandler(m *Manager, opts ...HandlerOption) http.Handler {
 func traceMiddleware(m *Manager, next http.Handler) http.Handler {
 	tr := m.opts.Tracer
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		// /v1/telemetry is a scrape target like /metrics (coordinators poll
+		// it every federation interval), so it stays untraced too.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1/telemetry" {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -299,21 +362,50 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleMetrics(m *Manager, w http.ResponseWriter) {
+func handleMetrics(m *Manager, cfg *handlerConfig, w http.ResponseWriter) {
 	w.Header().Set("Content-Type", telemetry.ContentType)
+	if cfg.federated != nil {
+		m.WriteMetricsFederated(w, cfg.federated())
+		return
+	}
 	m.WriteMetrics(w)
 }
 
 // handleTraces serves the tracer's recent-span ring: by default a JSON
 // document of span records (newest last), with ?format=chrome for a
 // chrome://tracing / Perfetto file and ?format=otlp for OTLP/JSON.
-func handleTraces(m *Manager, w http.ResponseWriter, r *http.Request) {
+// ?trace=<32-hex-id> restricts every format to one trace tree — and, on a
+// coordinator with a trace importer installed, first pulls that tree's
+// remote spans from the workers so the response is the stitched
+// cross-process tree.
+func handleTraces(m *Manager, cfg *handlerConfig, w http.ResponseWriter, r *http.Request) {
 	tr := m.opts.Tracer
 	if tr == nil {
 		writeError(w, http.StatusNotFound, "tracing disabled (start radiomisd without -trace-off)")
 		return
 	}
+	var filter trace.TraceID
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, ok := trace.ParseTraceID(q)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "invalid trace id %q (want 32 lowercase hex digits)", q)
+			return
+		}
+		filter = id
+		if cfg.traceImport != nil {
+			cfg.traceImport(r.Context(), q)
+		}
+	}
 	spans := tr.Spans()
+	if !filter.IsZero() {
+		kept := spans[:0:0]
+		for _, sp := range spans {
+			if sp.Trace == filter {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "chrome":
 		w.Header().Set("Content-Type", "application/json")

@@ -170,6 +170,8 @@ type managerMetrics struct {
 	queueWait, runDur, cacheAge               *telemetry.Histogram
 	trials, laneTrials                        *telemetry.Counter
 	trialDur                                  *telemetry.Histogram
+	lanesOccupied                             *telemetry.Histogram
+	scalarFallback                            telemetry.CounterVec
 }
 
 // MetricEngineLaneTrials counts solve trials executed on the bit-parallel
@@ -180,26 +182,62 @@ const MetricEngineLaneTrials = "radiomisd_engine_lane_trials_total"
 
 const metricEngineLaneTrialsHelp = "Trials executed on the bit-parallel lockstep engine, one per occupied bit-lane."
 
+// MetricEngineLanesOccupied is a dimensionless histogram of how many
+// bit-lanes each lockstep engine batch actually occupied (1..64): a
+// distribution hugging 64 means the engine runs full, a low tail exposes
+// fragmented batches (trial counts far from a lane multiple).
+const MetricEngineLanesOccupied = "radiomisd_engine_lanes_occupied"
+
+const metricEngineLanesOccupiedHelp = "Bit-lanes occupied per lockstep engine batch."
+
+// MetricEngineScalarFallback counts solve trials routed to the scalar
+// engine, labeled by why: reason="forced" (the request pinned scalar),
+// "faults" (fault injection), "algorithm" (no lockstep lane program), or
+// "family" (graph family not seed-invariant). Together with the lane-trial
+// counter it makes the auto-engine's routing decisions observable.
+const MetricEngineScalarFallback = "radiomisd_engine_scalar_fallback_total"
+
+const metricEngineScalarFallbackHelp = "Solve trials routed to the scalar engine, by fallback reason."
+
+// MetricBuildInfo is the constant-1 gauge carrying the binary's build
+// identity as labels, the standard fleet-dashboard join key between
+// metrics and deploys.
+const MetricBuildInfo = "radiomisd_build_info"
+
 func newManagerMetrics(reg *telemetry.Registry) managerMetrics {
 	return managerMetrics{
-		submitted:     reg.Counter("radiomisd_jobs_submitted_total", "Accepted job submissions, including cache and dedup hits."),
-		executed:      reg.Counter("radiomisd_jobs_executed_total", "Jobs that actually started running a simulation."),
-		cacheHits:     reg.Counter("radiomisd_jobs_cache_hits_total", "Submissions answered from the result cache."),
-		dedupHits:     reg.Counter("radiomisd_jobs_dedup_hits_total", "Submissions coalesced onto an identical in-flight job."),
-		done:          reg.Counter("radiomisd_jobs_done_total", "Jobs finished successfully."),
-		failed:        reg.Counter("radiomisd_jobs_failed_total", "Jobs finished with an error."),
-		canceled:      reg.Counter("radiomisd_jobs_canceled_total", "Jobs canceled before or during execution."),
-		queueRejected: reg.Counter("radiomisd_queue_rejected_total", "Submissions rejected because the job queue was full."),
-		queueDepth:    reg.Gauge("radiomisd_queue_depth", "Jobs currently waiting in the queue."),
-		cacheEntries:  reg.Gauge("radiomisd_cache_entries", "Entries currently in the result cache."),
-		workers:       reg.Gauge("radiomisd_workers", "Configured job executor count."),
-		queueWait:     reg.Histogram("radiomisd_job_queue_wait_seconds", "Time jobs spent queued before starting."),
-		runDur:        reg.Histogram("radiomisd_job_run_seconds", "Wall-clock execution time of finished jobs."),
-		cacheAge:      reg.Histogram("radiomisd_result_cache_age_seconds", "Age of cached results when served."),
-		trials:        reg.Counter(harness.MetricTrialsTotal, "Completed harness trials across all jobs."),
-		laneTrials:    reg.Counter(MetricEngineLaneTrials, metricEngineLaneTrialsHelp),
-		trialDur:      reg.Histogram(harness.MetricTrialSeconds, "Wall-clock duration of one harness trial."),
+		submitted:      reg.Counter("radiomisd_jobs_submitted_total", "Accepted job submissions, including cache and dedup hits."),
+		executed:       reg.Counter("radiomisd_jobs_executed_total", "Jobs that actually started running a simulation."),
+		cacheHits:      reg.Counter("radiomisd_jobs_cache_hits_total", "Submissions answered from the result cache."),
+		dedupHits:      reg.Counter("radiomisd_jobs_dedup_hits_total", "Submissions coalesced onto an identical in-flight job."),
+		done:           reg.Counter("radiomisd_jobs_done_total", "Jobs finished successfully."),
+		failed:         reg.Counter("radiomisd_jobs_failed_total", "Jobs finished with an error."),
+		canceled:       reg.Counter("radiomisd_jobs_canceled_total", "Jobs canceled before or during execution."),
+		queueRejected:  reg.Counter("radiomisd_queue_rejected_total", "Submissions rejected because the job queue was full."),
+		queueDepth:     reg.Gauge("radiomisd_queue_depth", "Jobs currently waiting in the queue."),
+		cacheEntries:   reg.Gauge("radiomisd_cache_entries", "Entries currently in the result cache."),
+		workers:        reg.Gauge("radiomisd_workers", "Configured job executor count."),
+		queueWait:      reg.Histogram("radiomisd_job_queue_wait_seconds", "Time jobs spent queued before starting."),
+		runDur:         reg.Histogram("radiomisd_job_run_seconds", "Wall-clock execution time of finished jobs."),
+		cacheAge:       reg.Histogram("radiomisd_result_cache_age_seconds", "Age of cached results when served."),
+		trials:         reg.Counter(harness.MetricTrialsTotal, "Completed harness trials across all jobs."),
+		laneTrials:     reg.Counter(MetricEngineLaneTrials, metricEngineLaneTrialsHelp),
+		trialDur:       reg.Histogram(harness.MetricTrialSeconds, "Wall-clock duration of one harness trial."),
+		lanesOccupied:  reg.CountHistogram(MetricEngineLanesOccupied, metricEngineLanesOccupiedHelp),
+		scalarFallback: reg.CounterVec(MetricEngineScalarFallback, metricEngineScalarFallbackHelp, "reason"),
 	}
+}
+
+// registerBuildInfo exposes the binary's build identity on reg as the
+// constant-1 MetricBuildInfo gauge. Idempotent per process (the labels are
+// derived from the binary itself, so re-registration always agrees).
+func registerBuildInfo(reg *telemetry.Registry) {
+	bi := ReadBuildInfo()
+	reg.LabeledGauge(MetricBuildInfo, "Build identity of the running radiomisd binary (value is always 1).",
+		telemetry.Label{Key: "version", Value: bi.Version},
+		telemetry.Label{Key: "revision", Value: bi.Revision},
+		telemetry.Label{Key: "goVersion", Value: bi.GoVersion},
+	).Set(1)
 }
 
 // New starts a manager with opts.Workers executor goroutines. With a
@@ -242,6 +280,7 @@ func New(opts Options) *Manager {
 		met:        newManagerMetrics(reg),
 		sched:      newScheduler(opts.CacheSize, reg),
 	}
+	registerBuildInfo(reg)
 	if len(replayed) > 0 {
 		n := m.recover(replayed)
 		opts.Logger.Info("wal replay complete",
@@ -591,16 +630,59 @@ func (m *Manager) Metrics() Metrics {
 	}
 }
 
-// WriteMetrics refreshes the point-in-time gauges and renders the daemon
-// registry in the Prometheus text exposition format — the body of
-// GET /metrics (serve it with Content-Type telemetry.ContentType).
-func (m *Manager) WriteMetrics(w io.Writer) error {
+// refreshGauges updates the point-in-time gauges that are computed on
+// read rather than maintained on write.
+func (m *Manager) refreshGauges() {
 	m.mu.Lock()
 	m.met.queueDepth.Set(int64(len(m.queue)))
 	m.met.cacheEntries.Set(int64(m.cache.Len()))
 	m.met.workers.Set(int64(m.opts.Workers))
 	m.mu.Unlock()
+}
+
+// WriteMetrics refreshes the point-in-time gauges and renders the daemon
+// registry in the Prometheus text exposition format — the body of
+// GET /metrics (serve it with Content-Type telemetry.ContentType).
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	m.refreshGauges()
 	return m.reg.WritePrometheus(w)
+}
+
+// WriteMetricsFederated is WriteMetrics for a coordinator: one combined
+// exposition carrying the daemon's own samples, each worker's samples
+// labeled worker="<url>", and the cluster aggregate labeled
+// worker="cluster" (see telemetry.WriteFederatedPrometheus).
+func (m *Manager) WriteMetricsFederated(w io.Writer, workers []telemetry.WorkerSnapshot) error {
+	m.refreshGauges()
+	return telemetry.WriteFederatedPrometheus(w, m.reg.Snapshot(), workers)
+}
+
+// TelemetrySnapshot refreshes the gauges and returns the daemon registry
+// in the versioned snapshot wire form — the body of GET /v1/telemetry,
+// which cluster coordinators poll to federate worker telemetry.
+func (m *Manager) TelemetrySnapshot() telemetry.RegistrySnapshot {
+	m.refreshGauges()
+	return m.reg.Snapshot()
+}
+
+// eventSinkKey carries a job's event-append function on the execution
+// context.
+type eventSinkKey struct{}
+
+// ContextWithEventSink returns a context on which EmitEvent delivers
+// events to sink. The job manager installs a sink pointing at the job's
+// event log before invoking the executor.
+func ContextWithEventSink(ctx context.Context, sink func(ev any)) context.Context {
+	return context.WithValue(ctx, eventSinkKey{}, sink)
+}
+
+// EmitEvent appends ev (any JSON-marshalable event shape, e.g.
+// ShardEvent) to the event stream of the job ctx belongs to. No-op when
+// ctx carries no sink, so executors can emit unconditionally.
+func EmitEvent(ctx context.Context, ev any) {
+	if sink, ok := ctx.Value(eventSinkKey{}).(func(ev any)); ok {
+		sink(ev)
+	}
 }
 
 // Shutdown drains the manager: no new submissions are accepted, queued and
@@ -673,6 +755,10 @@ func (m *Manager) run(j *Job) {
 	ctx := obs.ContextWithProgress(j.ctx, func(ev obs.ProgressEvent) {
 		j.appendEvent(progressEvent{Ev: "progress", Stage: ev.Stage, Done: ev.Done, Total: ev.Total, X: ev.X, TraceID: j.traceID})
 	})
+	// The event sink lets a non-local executor (the cluster coordinator's
+	// fan-out) append its own attributed lines — shard dispatch, worker
+	// progress, steals — to the same client-facing stream.
+	ctx = ContextWithEventSink(ctx, j.appendEvent)
 	ctx = telemetry.WithRegistry(ctx, j.reg)
 	if tr := m.opts.Tracer; tr != nil {
 		// The queue wait is over, so it is a span whose bounds are already
@@ -696,16 +782,13 @@ func (m *Manager) run(j *Job) {
 }
 
 func (m *Manager) finish(j *Job, res *JobResult, err error) {
-	// Fold the job's private trial telemetry into the daemon registry.
+	// Fold the job's private trial telemetry into the daemon registry —
+	// generically, via the snapshot codec, so any family an executor or
+	// engine recorded (trial timings, lane occupancy, fallback reasons)
+	// retires into GET /metrics without per-metric plumbing here.
 	if j.reg != nil {
-		if h, ok := j.reg.LookupHistogram(harness.MetricTrialSeconds); ok {
-			m.met.trialDur.Merge(h)
-		}
-		if c, ok := j.reg.LookupCounter(harness.MetricTrialsTotal); ok {
-			m.met.trials.Add(c.Value())
-		}
-		if c, ok := j.reg.LookupCounter(MetricEngineLaneTrials); ok {
-			m.met.laneTrials.Add(c.Value())
+		if merr := m.reg.MergeSnapshot(j.reg.Snapshot()); merr != nil {
+			m.opts.Logger.Warn("job telemetry fold failed", j.logArgs("error", merr.Error())...)
 		}
 	}
 
@@ -809,10 +892,15 @@ func execute(ctx context.Context, req JobRequest) (*JobResult, error) {
 					}
 					if reg != nil {
 						reg.Counter(MetricEngineLaneTrials, metricEngineLaneTrialsHelp).Add(uint64(len(results)))
+						reg.CountHistogram(MetricEngineLanesOccupied, metricEngineLanesOccupiedHelp).Observe(uint64(len(results)))
 					}
 					return ms, nil
 				})
 		} else {
+			if reg := telemetry.FromContext(ctx); reg != nil {
+				reg.CounterVec(MetricEngineScalarFallback, metricEngineScalarFallbackHelp, "reason").
+					With(scalarFallbackReason(req)).Add(uint64(req.Trials))
+			}
 			var fp faults.Profile
 			if req.Faults != nil {
 				fp = *req.Faults

@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("jobs_total", "jobs").Add(7)
+	r.Gauge("queue_depth", "depth").Set(-3)
+	h := r.Histogram("trial_seconds", "durations")
+	h.Observe(5)
+	h.Observe(1_000_000)
+	h.Observe(2_000_000_000)
+	r.CountHistogram("batch_size", "sizes").Observe(42)
+	r.LabeledGauge("build_info", "build identity",
+		Label{Key: "version", Value: "v1.2.3"}, Label{Key: "revision", Value: "abc"}).Set(1)
+	r.CounterVec("fallback_total", "fallbacks", "reason").With("faults").Add(2)
+
+	snap := r.Snapshot()
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold the decoded snapshot into a fresh registry and compare the
+	// resulting exposition: byte-identical output proves every instrument
+	// survived the trip.
+	r2 := New()
+	if err := r2.MergeSnapshot(got); err != nil {
+		t.Fatal(err)
+	}
+	var want, have strings.Builder
+	if err := r.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WritePrometheus(&have); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != have.String() {
+		t.Errorf("exposition differs after round trip:\nwant:\n%s\nhave:\n%s", want.String(), have.String())
+	}
+}
+
+func TestSnapshotSparseBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("d_seconds", "")
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(1 << 40)
+	snap := r.Snapshot()
+	hw := snap.Families[0].Hist
+	if hw == nil {
+		t.Fatal("histogram family has no wire form")
+	}
+	if len(hw.Buckets) != 2 {
+		t.Fatalf("sparse buckets = %v, want exactly 2 occupied", hw.Buckets)
+	}
+	if hw.Buckets[0][0] != 3 || hw.Buckets[0][1] != 2 {
+		t.Errorf("bucket 0 = %v, want [3 2]", hw.Buckets[0])
+	}
+	if hw.Count != 3 || hw.Max != 1<<40 {
+		t.Errorf("count=%d max=%d", hw.Count, hw.Max)
+	}
+}
+
+func TestDecodeSnapshotRejectsBadWire(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":        `{"schema":"radiomis.telemetry/v0","families":[]}`,
+		"unknown kind":        `{"schema":"radiomis.telemetry/v1","families":[{"name":"x","kind":"summary"}]}`,
+		"unknown unit":        `{"schema":"radiomis.telemetry/v1","families":[{"name":"x","kind":"histogram","unit":"furlongs"}]}`,
+		"empty name":          `{"schema":"radiomis.telemetry/v1","families":[{"name":"","kind":"counter"}]}`,
+		"duplicate family":    `{"schema":"radiomis.telemetry/v1","families":[{"name":"x","kind":"counter"},{"name":"x","kind":"counter"}]}`,
+		"bucket out of range": `{"schema":"radiomis.telemetry/v1","families":[{"name":"x","kind":"histogram","hist":{"count":1,"sum":1,"max":1,"buckets":[[9999,1]]}}]}`,
+		"not json":            `{"schema":`,
+	}
+	for name, wire := range cases {
+		if _, err := DecodeSnapshot([]byte(wire)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestSnapshotMergeEmptyHistograms(t *testing.T) {
+	a := New()
+	a.Histogram("d_seconds", "")
+	b := New()
+	b.Histogram("d_seconds", "").Observe(100)
+
+	// empty into occupied
+	sb := b.Snapshot()
+	if err := sb.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if hw := sb.Families[0].Hist; hw.Count != 1 || hw.Max != 100 {
+		t.Errorf("occupied+empty: count=%d max=%d, want 1, 100", hw.Count, hw.Max)
+	}
+	// occupied into empty
+	sa := a.Snapshot()
+	if err := sa.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if hw := sa.Families[0].Hist; hw.Count != 1 || hw.Max != 100 {
+		t.Errorf("empty+occupied: count=%d max=%d, want 1, 100", hw.Count, hw.Max)
+	}
+	// empty into empty
+	se := a.Snapshot()
+	if err := se.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if hw := se.Families[0].Hist; hw.Count != 0 || len(hw.Buckets) != 0 {
+		t.Errorf("empty+empty: %+v", hw)
+	}
+}
+
+func TestSnapshotMergeDisjointBuckets(t *testing.T) {
+	a := New()
+	a.Histogram("d_seconds", "").Observe(2)
+	b := New()
+	bh := b.Histogram("d_seconds", "")
+	bh.Observe(1 << 20)
+	bh.Observe(1 << 30)
+
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	hw := s.Families[0].Hist
+	if hw.Count != 3 {
+		t.Errorf("count = %d, want 3", hw.Count)
+	}
+	if len(hw.Buckets) != 3 {
+		t.Errorf("buckets = %v, want 3 occupied", hw.Buckets)
+	}
+	for i := 1; i < len(hw.Buckets); i++ {
+		if hw.Buckets[i-1][0] >= hw.Buckets[i][0] {
+			t.Errorf("buckets not in ascending index order: %v", hw.Buckets)
+		}
+	}
+	// Cross-check against the in-registry merge, which is the ground truth.
+	ref := NewHistogram()
+	ref.Observe(2)
+	ref.Observe(1 << 20)
+	ref.Observe(1 << 30)
+	if want := ref.wire(); hw.Sum != want.Sum || hw.Max != want.Max {
+		t.Errorf("wire merge diverged from Histogram.Merge: %+v vs %+v", hw, want)
+	}
+}
+
+func TestSnapshotMergeCountersAndVecs(t *testing.T) {
+	a := New()
+	a.Counter("jobs_total", "").Add(3)
+	a.CounterVec("fallback_total", "", "reason").With("forced").Add(1)
+	b := New()
+	b.Counter("jobs_total", "").Add(4)
+	vb := b.CounterVec("fallback_total", "", "reason")
+	vb.With("forced").Add(2)
+	vb.With("faults").Add(5)
+
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var jobs, fallback *FamilySnapshot
+	for i := range s.Families {
+		switch s.Families[i].Name {
+		case "jobs_total":
+			jobs = &s.Families[i]
+		case "fallback_total":
+			fallback = &s.Families[i]
+		}
+	}
+	if jobs == nil || jobs.Counter == nil || *jobs.Counter != 7 {
+		t.Errorf("jobs_total = %+v, want 7", jobs)
+	}
+	if fallback == nil || len(fallback.Children) != 2 {
+		t.Fatalf("fallback_total = %+v, want 2 children", fallback)
+	}
+	byValue := map[string]uint64{}
+	for _, c := range fallback.Children {
+		byValue[c.Value] = c.Count
+	}
+	if byValue["forced"] != 3 || byValue["faults"] != 5 {
+		t.Errorf("children = %v, want forced=3 faults=5", byValue)
+	}
+}
+
+func TestSnapshotMergeLabelSetCollision(t *testing.T) {
+	a := New()
+	a.LabeledGauge("build_info", "", Label{Key: "version", Value: "v1"}).Set(1)
+	b := New()
+	b.LabeledGauge("build_info", "", Label{Key: "version", Value: "v2"}).Set(1)
+
+	// Colliding constant labels: the receiver's identity sample survives
+	// unchanged — summing build_info across versions would be meaningless.
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Families[0]
+	if f.Gauge == nil || *f.Gauge != 1 {
+		t.Errorf("gauge = %v, want 1", f.Gauge)
+	}
+	if len(f.Labels) != 1 || f.Labels[0].Value != "v1" {
+		t.Errorf("labels = %v, want the receiver's", f.Labels)
+	}
+
+	// Identical labels: still an identity, value stays 1, no doubling.
+	s2 := a.Snapshot()
+	if err := s2.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.MergeSnapshot(s2); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.LabeledGauge("build_info", "", Label{Key: "version", Value: "v1"}); g.Value() != 1 {
+		t.Errorf("identity gauge after merge = %d, want 1", g.Value())
+	}
+}
+
+func TestSnapshotMergeKindMismatchErrors(t *testing.T) {
+	a := New()
+	a.Counter("x", "")
+	b := New()
+	b.Gauge("x", "")
+	s := a.Snapshot()
+	if err := s.Merge(b.Snapshot()); err == nil {
+		t.Error("merging counter into gauge did not error")
+	}
+	r := New()
+	r.Gauge("x", "")
+	if err := r.MergeSnapshot(a.Snapshot()); err == nil {
+		t.Error("MergeSnapshot with kind mismatch did not error")
+	}
+}
+
+func TestMergeSnapshotRegistersMissingFamilies(t *testing.T) {
+	src := New()
+	src.Histogram("radiomis_trial_duration_seconds", "trial wall time").Observe(1_000_000)
+	src.Counter("radiomis_trials_total", "trials").Add(9)
+
+	dst := New()
+	if err := dst.MergeSnapshot(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := dst.LookupHistogram("radiomis_trial_duration_seconds")
+	if !ok || h.Count() != 1 {
+		t.Fatalf("histogram not folded: ok=%v", ok)
+	}
+	c, ok := dst.LookupCounter("radiomis_trials_total")
+	if !ok || c.Value() != 9 {
+		t.Fatalf("counter not folded: ok=%v", ok)
+	}
+	// Folding again accumulates.
+	if err := dst.MergeSnapshot(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 2 || c.Value() != 18 {
+		t.Errorf("second fold: hist=%d counter=%d, want 2, 18", h.Count(), c.Value())
+	}
+}
+
+func TestWriteFederatedPrometheus(t *testing.T) {
+	local := New()
+	local.Counter("radiomisd_cluster_fanouts_total", "fanouts").Add(2)
+
+	w1 := New()
+	w1.Histogram("radiomis_trial_duration_seconds", "trial wall time").Observe(1_000_000)
+	w1.Counter("radiomis_trials_total", "trials").Add(3)
+	w2 := New()
+	h2 := w2.Histogram("radiomis_trial_duration_seconds", "trial wall time")
+	h2.Observe(2_000_000)
+	h2.Observe(3_000_000)
+	w2.Counter("radiomis_trials_total", "trials").Add(5)
+
+	var b strings.Builder
+	err := WriteFederatedPrometheus(&b, local.Snapshot(), []WorkerSnapshot{
+		{Worker: "http://w1:8381", Snap: w1.Snapshot()},
+		{Worker: "http://w2:8382", Snap: w2.Snapshot()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		`radiomisd_cluster_fanouts_total 2`,
+		`radiomis_trials_total{worker="http://w1:8381"} 3`,
+		`radiomis_trials_total{worker="http://w2:8382"} 5`,
+		`radiomis_trials_total{worker="cluster"} 8`,
+		`radiomis_trial_duration_seconds_count{worker="cluster"} 3`,
+		`radiomis_trial_duration_seconds_bucket{worker="cluster",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE header per family, even though three sources
+	// contribute samples.
+	if n := strings.Count(out, "# TYPE radiomis_trial_duration_seconds histogram"); n != 1 {
+		t.Errorf("trial-duration TYPE header appears %d times, want 1", n)
+	}
+	// Aggregate sum equals the sum of the worker sums.
+	if !strings.Contains(out, `radiomis_trial_duration_seconds_sum{worker="cluster"} 0.006`) {
+		t.Errorf("aggregate _sum missing or wrong:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.LabeledGauge("info", "", Label{Key: "path", Value: `C:\tmp "x"` + "\n"}).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `info{path="C:\\tmp \"x\"\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition = %q, want to contain %q", b.String(), want)
+	}
+}

@@ -35,37 +35,169 @@ var countBounds = []float64{
 // cumulative `le` buckets, `_sum`, and `_count`, matching the Prometheus
 // histogram convention.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	for _, f := range r.snapshotFamilies() {
-		if err := writeFamily(w, f); err != nil {
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders a snapshot (local or decoded off the
+// wire) in the Prometheus text exposition format.
+func WriteSnapshotPrometheus(w io.Writer, s RegistrySnapshot) error {
+	for i := range s.Families {
+		f := &s.Families[i]
+		if err := writeFamilyHeader(w, f); err != nil {
+			return err
+		}
+		if err := writeFamilySamples(w, f, nil); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeFamily(w io.Writer, f *family) error {
-	if f.help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+// WorkerSnapshot pairs a federated peer's identity (its base URL) with its
+// decoded telemetry snapshot.
+type WorkerSnapshot struct {
+	Worker string
+	Snap   RegistrySnapshot
+}
+
+// WriteFederatedPrometheus renders a coordinator's fleet view as one valid
+// exposition: for every family (local registration order first, then
+// worker-only families in worker order) a single header is followed by the
+// coordinator's own unlabeled samples, each worker's samples labeled
+// `worker="<url>"`, and — when any workers are present — the merged
+// aggregate labeled `worker="cluster"`. One header per family is a format
+// requirement, which is why this is a combined writer rather than
+// concatenated per-source expositions. Worker families whose kind or
+// schema disagrees with the first-seen definition are skipped rather than
+// corrupting the exposition.
+func WriteFederatedPrometheus(w io.Writer, local RegistrySnapshot, workers []WorkerSnapshot) error {
+	var order []string
+	reps := make(map[string]*FamilySnapshot)
+	note := func(f *FamilySnapshot) {
+		if _, ok := reps[f.Name]; !ok {
+			reps[f.Name] = f
+			order = append(order, f.Name)
+		}
+	}
+	localIdx := make(map[string]*FamilySnapshot, len(local.Families))
+	for i := range local.Families {
+		f := &local.Families[i]
+		note(f)
+		localIdx[f.Name] = f
+	}
+	workerIdx := make([]map[string]*FamilySnapshot, len(workers))
+	for wi := range workers {
+		idx := make(map[string]*FamilySnapshot, len(workers[wi].Snap.Families))
+		for i := range workers[wi].Snap.Families {
+			f := &workers[wi].Snap.Families[i]
+			note(f)
+			idx[f.Name] = f
+		}
+		workerIdx[wi] = idx
+	}
+
+	// Cluster aggregate: wire-level merge across workers, tolerant of
+	// individually incompatible families (skipped, like their samples).
+	agg := make(map[string]*FamilySnapshot)
+	for wi := range workers {
+		for i := range workers[wi].Snap.Families {
+			f := &workers[wi].Snap.Families[i]
+			if a, ok := agg[f.Name]; ok {
+				if err := mergeFamilySnapshot(a, f); err != nil {
+					continue
+				}
+			} else {
+				c := cloneFamilySnapshot(f)
+				agg[f.Name] = &c
+			}
+		}
+	}
+
+	for _, name := range order {
+		rep := reps[name]
+		if err := writeFamilyHeader(w, rep); err != nil {
+			return err
+		}
+		if f, ok := localIdx[name]; ok {
+			if err := writeFamilySamples(w, f, nil); err != nil {
+				return err
+			}
+		}
+		for wi := range workers {
+			f, ok := workerIdx[wi][name]
+			if !ok || f.Kind != rep.Kind || f.Unit != rep.Unit {
+				continue
+			}
+			if err := writeFamilySamples(w, f, []Label{{Key: "worker", Value: workers[wi].Worker}}); err != nil {
+				return err
+			}
+		}
+		if f, ok := agg[name]; ok && len(workers) > 0 && f.Kind == rep.Kind && f.Unit == rep.Unit {
+			if err := writeFamilySamples(w, f, []Label{{Key: "worker", Value: "cluster"}}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeFamilyHeader(w io.Writer, f *FamilySnapshot) error {
+	if f.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind)
+	return err
+}
+
+// writeFamilySamples renders one source's samples of a family, prefixing
+// every sample's label set with extra (the federation `worker` label).
+func writeFamilySamples(w io.Writer, f *FamilySnapshot, extra []Label) error {
+	kind, err := parseKind(f.Kind)
+	if err != nil {
 		return err
 	}
-	switch f.kind {
+	switch kind {
 	case KindCounter:
-		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		if f.LabelKey != "" {
+			for _, c := range f.Children {
+				labels := append(append([]Label(nil), extra...), Label{Key: f.LabelKey, Value: c.Value})
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(labels), c.Count); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		v := uint64(0)
+		if f.Counter != nil {
+			v = *f.Counter
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(extra), v)
 		return err
 	case KindGauge:
-		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+		v := int64(0)
+		if f.Gauge != nil {
+			v = *f.Gauge
+		}
+		labels := append(append([]Label(nil), extra...), f.Labels...)
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(labels), v)
 		return err
 	case KindHistogram:
-		return writeHistogram(w, f.name, f.unit, f.hist.Snapshot())
+		unit, err := parseUnit(f.Unit)
+		if err != nil {
+			return err
+		}
+		hw := f.Hist
+		if hw == nil {
+			hw = &HistogramWire{}
+		}
+		return writeHistogram(w, f.Name, unit, hw.dense(), extra)
 	}
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, unit HistUnit, s HistogramSnapshot) error {
+func writeHistogram(w io.Writer, name string, unit HistUnit, s HistogramSnapshot, extra []Label) error {
 	// Duration histograms store nanoseconds and expose seconds; count
 	// histograms store and expose the raw values.
 	bounds, scale := expositionBounds, 1e9
@@ -74,18 +206,41 @@ func writeHistogram(w io.Writer, name string, unit HistUnit, s HistogramSnapshot
 	}
 	for _, bound := range bounds {
 		cum := s.CumulativeAtOrBelow(uint64(bound * scale))
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
+		labels := append(append([]Label(nil), extra...), Label{Key: "le", Value: formatBound(bound)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+	labels := append(append([]Label(nil), extra...), Label{Key: "le", Value: "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels), s.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/scale)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(extra), formatFloat(float64(s.Sum)/scale)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(extra), s.Count)
 	return err
+}
+
+// labelString renders a label set as `{k1="v1",k2="v2"}`, or "" when empty.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteByte('"')
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // formatBound renders an `le` boundary without trailing zeros (0.25, 1, 30).
@@ -101,5 +256,13 @@ func formatFloat(v float64) string {
 // escapeHelp escapes backslashes and newlines per the exposition format.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, double quotes, and newlines in a label
+// value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -90,17 +90,67 @@ const (
 	UnitCount
 )
 
+// Label is one constant key/value annotation on a metric sample, rendered
+// as `name{key="value"}` in the Prometheus exposition and carried through
+// the snapshot wire codec.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
 // family is one registered metric family: a name, its help text, and
-// exactly one instrument.
+// exactly one instrument (or, for a labeled counter family, one child
+// instrument per label value).
 type family struct {
 	name string
 	help string
 	kind Kind
 	unit HistUnit // histograms only
 
+	// labels are constant labels stamped on the family's single sample
+	// (the `radiomisd_build_info{version=...}` idiom); counter-vec
+	// families use labelKey/children instead.
+	labels []Label
+	// labelKey, when non-empty, marks a counter family partitioned by one
+	// label: each distinct label value owns a child Counter.
+	labelKey string
+
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+
+	childMu    sync.Mutex
+	children   map[string]*Counter
+	childOrder []string // label values in first-use order
+}
+
+// childCounter resolves (creating on first use) the child for one label
+// value of a counter-vec family.
+func (f *family) childCounter(value string) *Counter {
+	f.childMu.Lock()
+	defer f.childMu.Unlock()
+	if c, ok := f.children[value]; ok {
+		return c
+	}
+	if f.children == nil {
+		f.children = make(map[string]*Counter)
+	}
+	c := &Counter{}
+	f.children[value] = c
+	f.childOrder = append(f.childOrder, value)
+	return c
+}
+
+// childSnapshot returns the family's labeled counter samples in first-use
+// order.
+func (f *family) childSnapshot() []LabeledCount {
+	f.childMu.Lock()
+	defer f.childMu.Unlock()
+	out := make([]LabeledCount, 0, len(f.childOrder))
+	for _, v := range f.childOrder {
+		out = append(out, LabeledCount{Value: v, Count: f.children[v].Value()})
+	}
+	return out
 }
 
 // Registry holds named metric families. The zero value is not usable; use
@@ -130,6 +180,9 @@ func (r *Registry) register(name, help string, kind Kind, unit HistUnit) *family
 		if f.unit != unit {
 			panic(fmt.Sprintf("telemetry: %q registered with unit %d, requested with %d", name, f.unit, unit))
 		}
+		if f.labelKey != "" {
+			panic(fmt.Sprintf("telemetry: %q registered as a labeled counter family, requested unlabeled", name))
+		}
 		return f
 	}
 	f := &family{name: name, help: help, kind: kind, unit: unit}
@@ -154,6 +207,78 @@ func (r *Registry) Counter(name, help string) *Counter {
 // Gauge resolves (registering on first use) the named gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.register(name, help, KindGauge, UnitNanoseconds).gauge
+}
+
+// LabeledGauge resolves (registering on first use) the named gauge whose
+// single sample carries the given constant labels (the
+// `build_info{version="..."} 1` idiom). Re-registering with a different
+// label set panics: constant labels are identity, not state.
+func (r *Registry) LabeledGauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != KindGauge {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as gauge", name, f.kind))
+		}
+		if !labelsEqual(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: %q re-registered with different constant labels", name))
+		}
+		return f.gauge
+	}
+	f := &family{name: name, help: help, kind: KindGauge, labels: append([]Label(nil), labels...), gauge: &Gauge{}}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f.gauge
+}
+
+// CounterVec is a counter family partitioned by one label key: each
+// distinct label value resolves (via With) to its own monotonically
+// increasing child Counter. Children are created on first use and exposed
+// as separate `name{key="value"}` samples.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec resolves (registering on first use) the named labeled counter
+// family. Re-registering with a different label key panics.
+func (r *Registry) CounterVec(name, help, labelKey string) CounterVec {
+	if labelKey == "" {
+		panic("telemetry: CounterVec requires a non-empty label key")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != KindCounter {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as counter", name, f.kind))
+		}
+		if f.labelKey != labelKey {
+			panic(fmt.Sprintf("telemetry: %q registered with label key %q, requested with %q", name, f.labelKey, labelKey))
+		}
+		return CounterVec{f: f}
+	}
+	f := &family{name: name, help: help, kind: KindCounter, labelKey: labelKey}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return CounterVec{f: f}
+}
+
+// With resolves the child counter for one label value.
+func (v CounterVec) With(value string) *Counter {
+	return v.f.childCounter(value)
+}
+
+// labelsEqual reports whether two constant label lists are identical
+// (order-sensitive: constant labels are declared, not collected).
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Histogram resolves (registering on first use) the named duration
@@ -189,7 +314,7 @@ func (r *Registry) LookupCounter(name string) (*Counter, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
-	if !ok || f.kind != KindCounter {
+	if !ok || f.kind != KindCounter || f.labelKey != "" {
 		return nil, false
 	}
 	return f.counter, true

@@ -250,6 +250,26 @@ func (t *Tracer) Emit(parent SpanContext, name string, start, end time.Time, att
 	return sp.Context()
 }
 
+// ImportSpan publishes an already-finished span reconstructed from
+// another process's export into this tracer's ring — the receiving half
+// of cluster trace stitching, where a coordinator pulls a worker's
+// /debug/traces and grafts the remote spans into its own tree. The span
+// must carry its remote identity (Trace, ID, and usually Parent) and a
+// non-zero EndTime; it reports whether the span was accepted. Callers are
+// responsible for de-duplicating re-imports (the ring itself never is —
+// it retains whatever it is given).
+func (t *Tracer) ImportSpan(sp *Span) bool {
+	if sp == nil || sp.Trace.IsZero() || sp.ID.IsZero() || sp.EndTime.IsZero() {
+		return false
+	}
+	if !sp.ended.CompareAndSwap(false, true) {
+		return false
+	}
+	sp.tracer = t
+	t.ring.add(sp)
+	return true
+}
+
 // Spans returns the finished spans currently retained, oldest first. The
 // snapshot is best-effort under concurrent writes: a span racing into the
 // ring may be missed until the next call.

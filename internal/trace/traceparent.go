@@ -65,6 +65,35 @@ func ParseTraceparent(h string) (SpanContext, bool) {
 	return sc, true
 }
 
+// ParseTraceID parses a 32-digit lowercase hex trace ID (the form
+// TraceID.String produces and /debug/traces exports carry), rejecting the
+// invalid all-zero ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !isHex(s) {
+		return TraceID{}, false
+	}
+	hex.Decode(id[:], []byte(s))
+	if id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// ParseSpanID parses a 16-digit lowercase hex span ID, rejecting the
+// invalid all-zero ID.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 || !isHex(s) {
+		return SpanID{}, false
+	}
+	hex.Decode(id[:], []byte(s))
+	if id.IsZero() {
+		return SpanID{}, false
+	}
+	return id, true
+}
+
 // isHex reports whether s is entirely lowercase hex digits, as the spec
 // requires (uppercase headers are invalid and must be ignored).
 func isHex(s string) bool {

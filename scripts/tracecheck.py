@@ -12,6 +12,10 @@ layer promises:
 * parent links connect: every event with a parentSpanId whose parent was
   exported points at an event of the same trace;
 * each span name passed via --expect appears at least once;
+* each NAME=N passed via --expect-count appears exactly N times (within
+  the --trace-id tree when one is given, else across the whole export) —
+  e.g. a coordinator fan-out over two workers must show exactly two
+  cluster.shard spans;
 * with --trace-id, at least one *connected* tree on that exact trace ID
   contains every expected name — the acceptance criterion for the daemon
   round-trip (an inbound traceparent must come back out as one causally
@@ -43,10 +47,24 @@ def main(argv):
         help="span name that must appear (repeatable)",
     )
     ap.add_argument(
+        "--expect-count",
+        action="append",
+        default=[],
+        metavar="NAME=N",
+        help="span name that must appear exactly N times (repeatable)",
+    )
+    ap.add_argument(
         "--trace-id",
         help="require a connected tree on this trace ID containing every --expect name",
     )
     args = ap.parse_args(argv[1:])
+
+    expect_counts = {}
+    for spec in args.expect_count:
+        name, sep, num = spec.rpartition("=")
+        if not sep or not num.isdigit():
+            return fail(f"bad --expect-count {spec!r}, want NAME=N")
+        expect_counts[name] = int(num)
 
     src = open(args.file) if args.file else sys.stdin
     try:
@@ -100,6 +118,12 @@ def main(argv):
     if missing:
         return fail(f"expected span names missing: {missing} (have {sorted(names)})")
 
+    if expect_counts and not args.trace_id:
+        for name, want in expect_counts.items():
+            got = names.get(name, 0)
+            if got != want:
+                return fail(f"span {name!r} appears {got} times, want exactly {want}")
+
     if args.trace_id:
         tid = args.trace_id.lower()
         tree = [ev for ev in spans if ev["args"]["traceId"] == tid]
@@ -111,6 +135,12 @@ def main(argv):
             return fail(
                 f"trace {tid} is missing spans: {missing} (has {sorted(tree_names)})"
             )
+        for name, want in expect_counts.items():
+            got = sum(1 for ev in tree if ev.get("name") == name)
+            if got != want:
+                return fail(
+                    f"trace {tid}: span {name!r} appears {got} times, want exactly {want}"
+                )
         # Connectivity: every non-root span whose parent was exported must
         # reach a parentless span of the tree by walking parent links.
         ids = {ev["args"]["spanId"]: ev for ev in tree}
